@@ -1,0 +1,69 @@
+// Command lowdiffbench regenerates the paper's evaluation tables and
+// figures from the calibrated simulator and the functional implementation.
+//
+// Usage:
+//
+//	lowdiffbench -list            # list experiment IDs
+//	lowdiffbench -exp exp1        # one experiment
+//	lowdiffbench -exp exp1,exp4   # several
+//	lowdiffbench -all             # everything (EXPERIMENTS.md source)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"lowdiff/internal/experiments"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list available experiment IDs and exit")
+	exp := flag.String("exp", "", "comma-separated experiment IDs to run")
+	all := flag.Bool("all", false, "run every experiment")
+	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	flag.Parse()
+
+	render := func(t *experiments.Table) error {
+		if *csv {
+			return t.RenderCSV(os.Stdout)
+		}
+		return t.Render(os.Stdout)
+	}
+
+	switch {
+	case *list:
+		for _, id := range experiments.IDs() {
+			fmt.Println(id)
+		}
+	case *all:
+		tabs, err := experiments.RunAll()
+		if err != nil {
+			fatal(err)
+		}
+		for _, t := range tabs {
+			if err := render(t); err != nil {
+				fatal(err)
+			}
+		}
+	case *exp != "":
+		for _, id := range strings.Split(*exp, ",") {
+			t, err := experiments.Run(strings.TrimSpace(id))
+			if err != nil {
+				fatal(err)
+			}
+			if err := render(t); err != nil {
+				fatal(err)
+			}
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "lowdiffbench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,82 @@
+// Compression: compare the gradient codecs (Top-K, random-K, int8,
+// identity) on a real gradient — sizes, reconstruction error, and the
+// effect on differential-checkpoint size, illustrating the paper's
+// Finding 2 (a compressed gradient is one third of a compressed
+// differential).
+//
+//	go run ./examples/compression
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"lowdiff"
+	"lowdiff/internal/compress"
+	"lowdiff/internal/grad"
+	"lowdiff/internal/model"
+	"lowdiff/internal/tensor"
+)
+
+func main() {
+	spec, err := lowdiff.ModelByName("GPT2-S")
+	if err != nil {
+		log.Fatal(err)
+	}
+	spec = spec.Scaled(500) // 234k parameters
+	oracle, err := grad.New(spec, 1, 0.05)
+	if err != nil {
+		log.Fatal(err)
+	}
+	params := model.NewParams(spec)
+	params.InitUniform(2)
+	g := tensor.New(spec.NumParams())
+	if err := oracle.Local(params.Flat, 0, 0, g); err != nil {
+		log.Fatal(err)
+	}
+	dense := int64(len(g) * 4)
+	fmt.Printf("gradient: %d floats (%d bytes dense)\n\n", len(g), dense)
+	fmt.Printf("%-14s %12s %8s %14s\n", "codec", "wire bytes", "ratio", "max abs error")
+
+	codecs := []struct {
+		name string
+		rho  float64
+	}{
+		{"topk", 0.01}, {"topk", 0.1}, {"randk", 0.01}, {"int8", 0}, {"identity", 0},
+	}
+	for _, c := range codecs {
+		comp, err := compress.New(c.name, c.rho, 42)
+		if err != nil {
+			log.Fatal(err)
+		}
+		enc, err := comp.Compress(g)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := enc.Encode(&buf); err != nil {
+			log.Fatal(err)
+		}
+		out := tensor.New(len(g))
+		if err := enc.Decompress(out); err != nil {
+			log.Fatal(err)
+		}
+		md, err := out.MaxAbsDiff(g)
+		if err != nil {
+			log.Fatal(err)
+		}
+		label := c.name
+		if c.rho > 0 {
+			label = fmt.Sprintf("%s(%.2f)", c.name, c.rho)
+		}
+		fmt.Printf("%-14s %12d %8.4f %14.4g\n", label, buf.Len(), float64(buf.Len())/float64(dense), md)
+	}
+
+	// Finding 2: with Adam, a full state is 3 Psi, so compressing the
+	// differential costs 3x the bytes of compressing the gradient at the
+	// same ratio.
+	fmt.Printf("\nFinding 2: full checkpoint = %d bytes (3 Psi floats);\n", spec.NumParams()*12)
+	fmt.Printf("a rho=0.01 compressed differential carries 3x the values of a rho=0.01 compressed gradient,\n")
+	fmt.Printf("which is why reusing gradients shrinks DC writes by ~3x before any other effect.\n")
+}

@@ -1,0 +1,91 @@
+// Tuning: use the paper's wasted-time model (§4.3) to pick the optimal
+// full-checkpoint frequency and batching size, compare against a grid like
+// the paper's Table I, and adapt the configuration as runtime conditions
+// drift.
+//
+//	go run ./examples/tuning
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"lowdiff"
+	"lowdiff/internal/core"
+)
+
+func main() {
+	// System constants for an 8xA100 job training GPT2-L: 1h MTBF,
+	// 1.4 GB/s SSD, 9.1 GB full checkpoints, 24h job.
+	params := lowdiff.SystemParams{
+		N:  8,
+		M:  3600,
+		W:  1.4e9,
+		S:  9.14e9,
+		T:  24 * 3600,
+		RF: 0.8,
+		RD: 0.02,
+	}
+
+	opt, err := lowdiff.Tune(params)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("closed-form optimum (Eq. 5): f* = %.6f ckpt/s (one per %.0f s), b* = %.2f s\n",
+		opt.F, 1/opt.F, opt.B)
+
+	// Convert to iteration units for a 1.2 s/iteration job.
+	ic, err := opt.ToIterConfig(1.2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("iteration config: full checkpoint every %d iterations, batch %d gradients/write\n",
+		ic.FullEvery, ic.BatchSize)
+
+	// Grid like the paper's Table I: the closed form beats every neighbour.
+	best, err := params.WastedTime(opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nwasted-time grid (normalized to the optimum):")
+	fmt.Printf("%8s", "f\\b")
+	for _, bm := range []float64{0.5, 1, 2} {
+		fmt.Printf("  b*x%-4.1f", bm)
+	}
+	fmt.Println()
+	for _, fm := range []float64{0.5, 1, 2} {
+		fmt.Printf("f*x%-5.1f", fm)
+		for _, bm := range []float64{0.5, 1, 2} {
+			w, err := params.WastedTime(lowdiff.Config{F: opt.F * fm, B: opt.B * bm})
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  %7.3f", w/best)
+		}
+		fmt.Println()
+	}
+
+	// Adaptive tuning: the SSD degrades to half bandwidth while the
+	// failure rate stays put; the optimum moves (checkpoint less often,
+	// batch more) and the tuner walks the live configuration to it.
+	tuner, err := core.NewAdaptiveTuner(params, 0.5, 0.25)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nruntime drift: SSD bandwidth halves")
+	for i := 0; i < 12; i++ {
+		if err := tuner.Observe(0, params.W/2); err != nil {
+			log.Fatal(err)
+		}
+		if _, err := tuner.Update(); err != nil {
+			log.Fatal(err)
+		}
+	}
+	cur := tuner.Current()
+	newOpt, err := tuner.Params().Optimal()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("tuner converged to f = %.6f (target %.6f), b = %.2f (target %.2f)\n",
+		cur.F, newOpt.F, cur.B, newOpt.B)
+}

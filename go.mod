@@ -1,0 +1,3 @@
+module lowdiff
+
+go 1.22

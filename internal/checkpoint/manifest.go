@@ -1,0 +1,151 @@
+package checkpoint
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"lowdiff/internal/storage"
+)
+
+// Canonical checkpoint object names. Iterations are zero-padded so
+// lexicographic order equals numeric order for store listings.
+//
+//	full-000000000042.ckpt
+//	diff-000000000043-000000000046.ckpt
+
+// FullName returns the canonical object name of a full checkpoint.
+func FullName(iter int64) string { return fmt.Sprintf("full-%012d.ckpt", iter) }
+
+// DiffName returns the canonical object name of a differential checkpoint
+// covering [first, last].
+func DiffName(first, last int64) string {
+	return fmt.Sprintf("diff-%012d-%012d.ckpt", first, last)
+}
+
+// Entry describes one checkpoint object found in a store.
+type Entry struct {
+	Name      string
+	IsFull    bool
+	Iter      int64 // full checkpoints: iteration
+	FirstIter int64 // differentials: covered range
+	LastIter  int64
+}
+
+// ParseName parses a canonical checkpoint object name.
+func ParseName(name string) (Entry, error) {
+	switch {
+	case strings.HasPrefix(name, "full-") && strings.HasSuffix(name, ".ckpt"):
+		var iter int64
+		if _, err := fmt.Sscanf(name, "full-%d.ckpt", &iter); err != nil {
+			return Entry{}, fmt.Errorf("checkpoint: malformed full name %q: %w", name, err)
+		}
+		return Entry{Name: name, IsFull: true, Iter: iter}, nil
+	case strings.HasPrefix(name, "diff-") && strings.HasSuffix(name, ".ckpt"):
+		var first, last int64
+		if _, err := fmt.Sscanf(name, "diff-%d-%d.ckpt", &first, &last); err != nil {
+			return Entry{}, fmt.Errorf("checkpoint: malformed diff name %q: %w", name, err)
+		}
+		if first > last {
+			return Entry{}, fmt.Errorf("checkpoint: diff name %q has inverted range", name)
+		}
+		return Entry{Name: name, FirstIter: first, LastIter: last}, nil
+	default:
+		return Entry{}, fmt.Errorf("checkpoint: unrecognized checkpoint name %q", name)
+	}
+}
+
+// Manifest is the recovery-relevant view of a store: the latest full
+// checkpoint and the differentials that extend it, in iteration order.
+type Manifest struct {
+	Fulls []Entry // all full checkpoints, ascending by Iter
+	Diffs []Entry // all differentials, ascending by FirstIter
+}
+
+// Scan lists a store and builds a manifest. Unrecognized object names are
+// ignored (the store may hold other artifacts).
+func Scan(s storage.Store) (*Manifest, error) {
+	var m Manifest
+	for _, prefix := range []string{"full-", "diff-"} {
+		names, err := s.List(prefix)
+		if err != nil {
+			return nil, err
+		}
+		for _, name := range names {
+			e, err := ParseName(name)
+			if err != nil {
+				continue
+			}
+			if e.IsFull {
+				m.Fulls = append(m.Fulls, e)
+			} else {
+				m.Diffs = append(m.Diffs, e)
+			}
+		}
+	}
+	sort.Slice(m.Fulls, func(i, j int) bool { return m.Fulls[i].Iter < m.Fulls[j].Iter })
+	sort.Slice(m.Diffs, func(i, j int) bool { return m.Diffs[i].FirstIter < m.Diffs[j].FirstIter })
+	return &m, nil
+}
+
+// LatestFull returns the most recent full checkpoint entry, or false if the
+// store holds none.
+func (m *Manifest) LatestFull() (Entry, bool) {
+	if len(m.Fulls) == 0 {
+		return Entry{}, false
+	}
+	return m.Fulls[len(m.Fulls)-1], true
+}
+
+// DiffsAfter returns the differentials forming a contiguous chain starting
+// at iteration iter+1, in order. The chain stops at the first gap, so a
+// missing differential bounds recovery instead of silently skipping
+// iterations.
+func (m *Manifest) DiffsAfter(iter int64) []Entry {
+	var out []Entry
+	next := iter + 1
+	for _, d := range m.Diffs {
+		if d.LastIter <= iter {
+			continue
+		}
+		if d.FirstIter != next {
+			if d.FirstIter > next {
+				break
+			}
+			// Overlapping batch that starts at or before the full
+			// checkpoint but extends past it cannot be partially applied.
+			break
+		}
+		out = append(out, d)
+		next = d.LastIter + 1
+	}
+	return out
+}
+
+// GC deletes checkpoints that can no longer participate in recovery: every
+// full checkpoint before the latest, and every differential fully covered
+// by the latest full checkpoint. It returns the freed object names.
+func GC(s storage.Store, m *Manifest) ([]string, error) {
+	latest, ok := m.LatestFull()
+	if !ok {
+		return nil, nil
+	}
+	var freed []string
+	for _, f := range m.Fulls {
+		if f.Iter < latest.Iter {
+			if err := s.Delete(f.Name); err != nil && !storage.IsNotExist(err) {
+				return freed, err
+			}
+			freed = append(freed, f.Name)
+		}
+	}
+	for _, d := range m.Diffs {
+		if d.LastIter <= latest.Iter {
+			if err := s.Delete(d.Name); err != nil && !storage.IsNotExist(err) {
+				return freed, err
+			}
+			freed = append(freed, d.Name)
+		}
+	}
+	return freed, nil
+}

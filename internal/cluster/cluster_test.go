@@ -1,0 +1,386 @@
+package cluster
+
+import (
+	"testing"
+
+	"lowdiff/internal/model"
+	"lowdiff/internal/timemodel"
+)
+
+func gpt2L(t *testing.T) Workload {
+	t.Helper()
+	spec, err := model.ByName("GPT2-L")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Workload{Spec: spec, HW: timemodel.A100(), Workers: 8, Rho: 0.01}
+}
+
+func gpt2S(t *testing.T) Workload {
+	t.Helper()
+	spec, err := model.ByName("GPT2-S")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Workload{Spec: spec, HW: timemodel.A100(), Workers: 8, Rho: 0.01}
+}
+
+func TestWorkloadValidate(t *testing.T) {
+	w := gpt2L(t)
+	if err := w.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := w
+	bad.Workers = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("want workers error")
+	}
+	bad = w
+	bad.Rho = 1.5
+	if err := bad.Validate(); err == nil {
+		t.Fatal("want rho error")
+	}
+	bad = w
+	bad.Spec = model.Spec{}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("want spec error")
+	}
+}
+
+func TestPlanValidate(t *testing.T) {
+	if err := (Plan{Strategy: "bogus"}).Validate(); err == nil {
+		t.Fatal("want strategy error")
+	}
+	if err := (Plan{Strategy: LowDiff, Interval: -1}).Validate(); err == nil {
+		t.Fatal("want interval error")
+	}
+	if err := (Plan{Strategy: LowDiff}).Validate(); err != nil {
+		t.Fatalf("defaults should validate: %v", err)
+	}
+}
+
+func TestWOCkptHasNoOverhead(t *testing.T) {
+	ov, err := PerIterOverhead(gpt2L(t), Plan{Strategy: WOCkpt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ov.Total() != 0 {
+		t.Fatalf("W/O CKPT overhead = %v", ov)
+	}
+}
+
+// Paper Exp. 1 headline: per-iteration LowDiff costs < 3.1% over W/O CKPT
+// on every workload, while the baselines cost far more.
+func TestLowDiffOverheadUnderPaperBound(t *testing.T) {
+	for _, spec := range model.Registry() {
+		w := Workload{Spec: spec, HW: timemodel.A100(), Workers: 8, Rho: 0.01}
+		ov, err := PerIterOverhead(w, Plan{Strategy: LowDiff, Interval: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		frac := ov.Total() / w.IterTime()
+		if frac < 0.02 || frac > 0.031 {
+			t.Errorf("%s: LowDiff overhead %.2f%%, want within the paper's 2.4-3.1%% band (+/-)",
+				spec.Name, frac*100)
+		}
+	}
+}
+
+func TestPerIterationOrderingMatchesPaper(t *testing.T) {
+	// At per-iteration frequency: LowDiff << {NaiveDC, Gemini} << CheckFreq
+	// on large models (Exp. 1 shape).
+	w := gpt2L(t)
+	times := map[Strategy]float64{}
+	for _, s := range []Strategy{WOCkpt, LowDiff, NaiveDC, Gemini, CheckFreq} {
+		tt, err := TrainingTime(w, Plan{Strategy: s, Interval: 1}, 1000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		times[s] = tt
+	}
+	if !(times[WOCkpt] < times[LowDiff] && times[LowDiff] < times[Gemini] &&
+		times[Gemini] < times[NaiveDC] && times[NaiveDC] < times[CheckFreq]) {
+		t.Fatalf("ordering violated: %v", times)
+	}
+	// GPT2-L reductions: ~89% vs CheckFreq, ~59% vs Gemini (paper).
+	redCF := 1 - times[LowDiff]/times[CheckFreq]
+	redGem := 1 - times[LowDiff]/times[Gemini]
+	if redCF < 0.8 || redCF > 0.95 {
+		t.Errorf("reduction vs CheckFreq = %.1f%%, want ~89%%", redCF*100)
+	}
+	if redGem < 0.5 || redGem > 0.75 {
+		t.Errorf("reduction vs Gemini = %.1f%%, want ~59%%", redGem*100)
+	}
+}
+
+func TestLargerModelsWidenTheGap(t *testing.T) {
+	// Exp. 1: LowDiff's advantage grows with model size.
+	red := func(w Workload) float64 {
+		ld, err := TrainingTime(w, Plan{Strategy: LowDiff, Interval: 1}, 100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cf, err := TrainingTime(w, Plan{Strategy: CheckFreq, Interval: 1}, 100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return 1 - ld/cf
+	}
+	small := red(gpt2S(t))
+	large := red(gpt2L(t))
+	if large <= small {
+		t.Fatalf("reduction small=%v large=%v; should grow with size", small, large)
+	}
+}
+
+func TestLowDiffPlusOverheadBand(t *testing.T) {
+	// Exp. 2: LowDiff+ costs ~8-10% over W/O CKPT (no compression).
+	for _, name := range []string{"ResNet-101", "BERT-L", "GPT2-L"} {
+		spec, _ := model.ByName(name)
+		w := Workload{Spec: spec, HW: timemodel.A100(), Workers: 8}
+		ov, err := PerIterOverhead(w, Plan{Strategy: LowDiffPlusS, Interval: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		frac := ov.Total() / w.IterTime()
+		if frac < 0.05 || frac > 0.12 {
+			t.Errorf("%s: LowDiff+ overhead %.1f%%, want ~8-10%%", name, frac*100)
+		}
+	}
+}
+
+// Paper Exp. 4 (Fig. 11): maximum checkpointing frequencies under the 3.5%
+// training-speed bound.
+func TestMaxFrequencyMatchesPaper(t *testing.T) {
+	hw := timemodel.A100()
+	cases := []struct {
+		model string
+		want  map[Strategy]int
+	}{
+		{"ResNet-101", map[Strategy]int{LowDiff: 1, LowDiffPlusS: 1, LowDiffPlusP: 1, Gemini: 1, CheckFreq: 10}},
+		{"BERT-L", map[Strategy]int{LowDiff: 1, LowDiffPlusS: 1, LowDiffPlusP: 3, Gemini: 4, CheckFreq: 10, NaiveDC: 8}},
+		{"GPT2-L", map[Strategy]int{LowDiff: 1, LowDiffPlusS: 1, LowDiffPlusP: 3, Gemini: 4, CheckFreq: 10, NaiveDC: 8}},
+	}
+	for _, tc := range cases {
+		spec, err := model.ByName(tc.model)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w := Workload{Spec: spec, HW: hw, Workers: 8, Rho: 0.01}
+		for s, want := range tc.want {
+			got, err := MaxFrequency(w, s, 0.035, 200)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", tc.model, s, err)
+			}
+			if got != want {
+				t.Errorf("%s/%s: max frequency %d, want %d", tc.model, s, got, want)
+			}
+		}
+	}
+	// Naive DC's interval grows with model size (paper: 2 -> 8).
+	rn, _ := model.ByName("ResNet-101")
+	small, err := MaxFrequency(Workload{Spec: rn, HW: hw, Workers: 8, Rho: 0.01}, NaiveDC, 0.035, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gl, _ := model.ByName("GPT2-L")
+	large, err := MaxFrequency(Workload{Spec: gl, HW: hw, Workers: 8, Rho: 0.01}, NaiveDC, 0.035, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small > 3 || large != 8 || small >= large {
+		t.Errorf("NaiveDC intervals: small-model %d, large-model %d; want growth ~2 -> 8", small, large)
+	}
+}
+
+// Paper Exp. 8 (Fig. 14): GPT2-S stays per-iteration across rho in
+// [0.001, 0.1]; GPT2-L is per-iteration up to 0.075 and drops to every 2
+// iterations at 0.1.
+func TestCompressionRatioCrossover(t *testing.T) {
+	hw := timemodel.A100()
+	gs, _ := model.ByName("GPT2-S")
+	gl, _ := model.ByName("GPT2-L")
+	for _, rho := range []float64{0.001, 0.01, 0.05, 0.075, 0.1} {
+		kS, err := MaxFrequency(Workload{Spec: gs, HW: hw, Workers: 8, Rho: rho}, LowDiff, 0.035, 100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if kS != 1 {
+			t.Errorf("GPT2-S rho=%v: frequency %d, want 1", rho, kS)
+		}
+		kL, err := MaxFrequency(Workload{Spec: gl, HW: hw, Workers: 8, Rho: rho}, LowDiff, 0.035, 100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := 1
+		if rho >= 0.1 {
+			want = 2
+		}
+		if kL != want {
+			t.Errorf("GPT2-L rho=%v: frequency %d, want %d", rho, kL, want)
+		}
+	}
+}
+
+func TestMaxFrequencyValidation(t *testing.T) {
+	if _, err := MaxFrequency(gpt2L(t), LowDiff, 0, 10); err == nil {
+		t.Fatal("want bound error")
+	}
+	if _, err := MaxFrequency(gpt2L(t), "bogus", 0.035, 10); err == nil {
+		t.Fatal("want strategy error")
+	}
+}
+
+func TestTrainingTimeValidation(t *testing.T) {
+	if _, err := TrainingTime(gpt2L(t), Plan{Strategy: LowDiff}, 0); err == nil {
+		t.Fatal("want iterations error")
+	}
+}
+
+// Paper Exp. 6a: batched writes cut the average differential checkpointing
+// time by up to ~31% at batch size 20.
+func TestBatchedWriteReduction(t *testing.T) {
+	w := gpt2S(t)
+	t1, err := AvgDiffWriteTime(w, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t20, err := AvgDiffWriteTime(w, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	red := 1 - t20/t1
+	if red < 0.25 || red > 0.35 {
+		t.Fatalf("batch-20 reduction = %.1f%%, want ~31%%", red*100)
+	}
+	// Monotone in batch size.
+	prev := t1
+	for _, b := range []int{2, 4, 8, 16, 32} {
+		tb, err := AvgDiffWriteTime(w, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tb > prev {
+			t.Fatalf("write time not monotone at batch %d", b)
+		}
+		prev = tb
+	}
+	if _, err := AvgDiffWriteTime(w, 0); err == nil {
+		t.Fatal("want batch error")
+	}
+}
+
+// Paper Exp. 6b: without offloaded batching GPU memory grows ~10-12%;
+// with offloading it stays flat.
+func TestGPUMemoryOverhead(t *testing.T) {
+	w := gpt2L(t)
+	with, err := GPUMemOverheadFrac(w, 12, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if with != 0 {
+		t.Fatalf("offloaded overhead = %v, want 0", with)
+	}
+	without, err := GPUMemOverheadFrac(w, 12, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if without < 0.08 || without > 0.15 {
+		t.Fatalf("non-offloaded overhead = %.1f%%, want ~10-12%%", without*100)
+	}
+	if _, err := GPUMemOverheadFrac(w, 0, false); err == nil {
+		t.Fatal("want batch error")
+	}
+}
+
+// Paper Exp. 5 (Fig. 12): recovery-time relations at FCF=10 on GPT2-S.
+func TestRecoveryTimeShape(t *testing.T) {
+	w := gpt2S(t)
+	base, err := RecoveryTime(w, TorchSave, 10, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive, err := RecoveryTime(w, NaiveDC, 10, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ldSerial, err := RecoveryTime(w, LowDiff, 10, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ldPar, err := RecoveryTime(w, LowDiff, 10, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plusS, err := RecoveryTime(w, LowDiffPlusS, 10, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(plusS < ldPar && ldPar < ldSerial && ldSerial < naive && naive < base) {
+		t.Fatalf("recovery ordering violated: plusS=%v par=%v serial=%v naive=%v base=%v",
+			plusS, ldPar, ldSerial, naive, base)
+	}
+	// Paper: parallel recovery ~83% below baseline at FCF=10; LowDiff+(S)
+	// 9.4x-57.1x faster than baseline over FCF 5..50.
+	if red := 1 - ldPar/base; red < 0.7 || red > 0.95 {
+		t.Errorf("parallel recovery reduction = %.1f%%, want ~83%%", red*100)
+	}
+	for _, fcf := range []int{5, 50} {
+		b, _ := RecoveryTime(w, TorchSave, fcf, false)
+		p, _ := RecoveryTime(w, LowDiffPlusS, fcf, false)
+		speedup := b / p
+		if speedup < 4 || speedup > 80 {
+			t.Errorf("fcf=%d: LowDiff+(S) speedup %.1fx out of plausible range", fcf, speedup)
+		}
+	}
+	if _, err := RecoveryTime(w, LowDiff, 0, false); err == nil {
+		t.Fatal("want fullEvery error")
+	}
+	if _, err := RecoveryTime(w, "bogus", 10, false); err == nil {
+		t.Fatal("want strategy error")
+	}
+}
+
+func TestRecoveryGrowsWithInterval(t *testing.T) {
+	w := gpt2S(t)
+	prev := 0.0
+	for _, fcf := range []int{5, 10, 20, 50} {
+		rt, err := RecoveryTime(w, TorchSave, fcf, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rt <= prev {
+			t.Fatalf("baseline recovery not increasing at fcf=%d", fcf)
+		}
+		prev = rt
+	}
+}
+
+func TestPipelineParallelNaiveDCPenalty(t *testing.T) {
+	// Exp. 1 VGG16-PP: Naive DC is the worst strategy under pipeline
+	// parallelism.
+	vgg, _ := model.ByName("VGG-16")
+	w := Workload{Spec: vgg, HW: timemodel.A100(), Workers: 8, Rho: 0.01, PipelineParallel: true}
+	nd, err := TrainingTime(w, Plan{Strategy: NaiveDC, Interval: 1}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cf, err := TrainingTime(w, Plan{Strategy: CheckFreq, Interval: 1}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gm, err := TrainingTime(w, Plan{Strategy: Gemini, Interval: 1}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ld, err := TrainingTime(w, Plan{Strategy: LowDiff, Interval: 1}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(ld < gm && gm < cf) {
+		t.Fatalf("PP ordering: ld=%v gm=%v cf=%v", ld, gm, cf)
+	}
+	if nd < gm {
+		t.Fatalf("PP NaiveDC (%v) should not beat Gemini (%v)", nd, gm)
+	}
+}

@@ -1,0 +1,297 @@
+package cluster
+
+import (
+	"fmt"
+
+	"lowdiff/internal/sim"
+	"lowdiff/internal/tensor"
+	"lowdiff/internal/timemodel"
+)
+
+// FailureConfig drives a failure/recovery timeline simulation (Exp. 3,
+// 9, 10).
+type FailureConfig struct {
+	W Workload
+	P Plan
+	// JobIters is the number of productive iterations the job must
+	// complete.
+	JobIters int
+	// MTBF is the mean time between failures in seconds (exponential
+	// inter-arrivals, as the paper injects them).
+	MTBF float64
+	// Hardware selects hardware failures: machine replacement, in-memory
+	// state lost (LowDiff+ falls back to persisted checkpoints). Software
+	// failures keep the checkpointing process's CPU memory alive (§5.3).
+	Hardware bool
+	Seed     uint64
+}
+
+// FailureResult summarizes a failure-timeline simulation.
+type FailureResult struct {
+	TotalSeconds      float64
+	ProductiveSeconds float64 // time spent on iterations that counted
+	WastedSeconds     float64 // recovery + re-executed work + ckpt overhead
+	Failures          int
+	// EffectiveRatio is productive time over total time (Gemini's
+	// effective training time ratio metric, Exp. 9/10).
+	EffectiveRatio float64
+}
+
+// SimulateFailures runs a deterministic failure/recovery timeline: training
+// advances at the plan's effective iteration rate; checkpoint persists are
+// transfers on a shared SSD (or network) device, so a checkpoint still in
+// flight when a failure hits does not count as recoverable; failures arrive
+// with exponential inter-arrival times; each failure rolls the job back to
+// the newest fully persisted (or in-memory) state and charges recovery plus
+// re-execution.
+func SimulateFailures(cfg FailureConfig) (FailureResult, error) {
+	if err := cfg.W.Validate(); err != nil {
+		return FailureResult{}, err
+	}
+	if err := cfg.P.Validate(); err != nil {
+		return FailureResult{}, err
+	}
+	if cfg.JobIters <= 0 {
+		return FailureResult{}, fmt.Errorf("cluster: JobIters %d must be positive", cfg.JobIters)
+	}
+	if cfg.MTBF <= 0 {
+		return FailureResult{}, fmt.Errorf("cluster: MTBF %v must be positive", cfg.MTBF)
+	}
+	p := cfg.P.withDefaults()
+	w := cfg.W
+	ov, err := PerIterOverhead(w, p)
+	if err != nil {
+		return FailureResult{}, err
+	}
+	tIter := w.IterTime()
+	effIter := tIter + ov.Total()
+
+	h := w.HW
+	S := timemodel.FullCheckpointBytes(w.Spec)
+	gc := timemodel.CompressedGradBytes(w.Spec, w.Rho, w.Workers)
+	dc := timemodel.NaiveDCBytes(w.Spec, w.Rho)
+	shards := float64(maxInt(1, w.Workers/gpusPerServer))
+
+	// Persistence device: Gemini checkpoints over the network to peer CPU
+	// memory; everything else writes to the SSD.
+	devBW := h.SSDWriteBps
+	if p.Strategy == Gemini {
+		devBW = h.NetBps
+	}
+	device, err := sim.NewResource("persist", devBW)
+	if err != nil {
+		return FailureResult{}, err
+	}
+
+	rng := tensor.NewRNG(cfg.Seed ^ 0x5bd1e995)
+
+	// persisted tracks durable restore points: iteration -> completion
+	// time on the device. In-memory restore points (Gemini peer memory
+	// survives; the LowDiff+ replica survives software failures) are
+	// handled separately.
+	type point struct {
+		iter   int
+		funcAt float64 // time the point becomes usable
+	}
+	var fullPoints []point // full checkpoints (or LowDiff+ persisted replicas)
+	var diffPoints []point // differential batches extending the last full
+
+	const trim = 64 // restore points older than the newest trim are dead
+	addPoint := func(list []point, pt point) []point {
+		list = append(list, pt)
+		if len(list) > trim {
+			list = list[len(list)-trim:]
+		}
+		return list
+	}
+
+	now := 0.0
+	productive := 0.0
+	wasted := 0.0
+	failures := 0
+	iter := 0     // current training position
+	doneIter := 0 // highest iteration counted as productive progress
+	nextFail := rng.Exp(cfg.MTBF)
+
+	// submit enqueues a persist unless the device is already more than one
+	// transfer behind — real asynchronous persisters skip a checkpoint
+	// when the previous one is still in flight rather than queueing
+	// unboundedly (CheckFreq's behaviour).
+	submit := func(t, bytes float64) (float64, bool) {
+		if device.Backlog(t) > bytes/device.BytesPerSec {
+			return 0, false
+		}
+		fin, _ := device.Submit(t, bytes)
+		return fin, true
+	}
+	// schedulePersists records persistence work triggered at iteration i.
+	schedulePersists := func(i int, t float64) {
+		switch p.Strategy {
+		case WOCkpt:
+		case TorchSave, CheckFreq, Gemini:
+			if i%p.Interval == 0 {
+				if fin, ok := submit(t, S); ok {
+					fullPoints = addPoint(fullPoints, point{i, fin})
+				}
+			}
+		case NaiveDC:
+			if i%p.FullEvery == 0 {
+				if fin, ok := submit(t, S); ok {
+					fullPoints = addPoint(fullPoints, point{i, fin})
+				}
+			}
+			if i%p.Interval == 0 {
+				if fin, ok := submit(t, dc); ok {
+					diffPoints = addPoint(diffPoints, point{i, fin})
+				}
+			}
+		case LowDiff:
+			if i%p.FullEvery == 0 {
+				if fin, ok := submit(t, S); ok {
+					fullPoints = addPoint(fullPoints, point{i, fin})
+				}
+			}
+			if i%(p.Interval*p.BatchSize) == 0 {
+				if fin, ok := submit(t, float64(p.BatchSize)*gc); ok {
+					diffPoints = addPoint(diffPoints, point{i, fin})
+				}
+			}
+		case LowDiffPlusS, LowDiffPlusP:
+			if i%p.Interval == 0 {
+				if fin, ok := submit(t, S/shards); ok {
+					fullPoints = addPoint(fullPoints, point{i, fin})
+				}
+			}
+		}
+	}
+
+	// recoverable returns the newest restorable iteration at failure time
+	// t, and whether recovery is the in-memory (soft) path.
+	recoverable := func(t float64) (int, bool) {
+		if p.Strategy == LowDiffPlusS || p.Strategy == LowDiffPlusP {
+			if !cfg.Hardware && p.Strategy == LowDiffPlusS {
+				// Software failure: the replica holds iter-1 (the current
+				// iteration's update may be mid-flight on the CPU).
+				if iter > 0 {
+					return iter - 1, true
+				}
+				return 0, true
+			}
+			// Hardware failure: last persisted replica.
+			best := 0
+			for _, pt := range fullPoints {
+				if pt.funcAt <= t && pt.iter > best {
+					best = pt.iter
+				}
+			}
+			return best, false
+		}
+		bestFull := 0
+		for _, pt := range fullPoints {
+			if pt.funcAt <= t && pt.iter > bestFull {
+				bestFull = pt.iter
+			}
+		}
+		best := bestFull
+		if p.Strategy == NaiveDC || p.Strategy == LowDiff {
+			// Differentials extend the chain past the full checkpoint.
+			for _, pt := range diffPoints {
+				if pt.funcAt <= t && pt.iter > best {
+					best = pt.iter
+				}
+			}
+		}
+		return best, false
+	}
+
+	// recoveryCost returns the time to restore to iteration r: the
+	// cluster-level job restart plus checkpoint loading and replay.
+	// Job-restart costs differ by system: legacy single-writer systems
+	// (Torch.save, CheckFreq) re-deploy the whole job and rebuild data
+	// pipeline state; Check-N-Run-style DC restores large differentials;
+	// Gemini's design centres on fast restarts from peer CPU memory;
+	// LowDiff restarts the training processes and replays small
+	// differentials; a LowDiff+ software failure only re-spawns the
+	// training process next to the surviving checkpointer (§5.3).
+	restart := func() float64 {
+		switch p.Strategy {
+		case TorchSave, CheckFreq:
+			return 180
+		case NaiveDC:
+			return 120
+		case Gemini:
+			return 90
+		case LowDiff, LowDiffPlusP:
+			return 60
+		default:
+			return 60
+		}
+	}
+	recoveryCost := func(r int, soft bool) float64 {
+		switch p.Strategy {
+		case WOCkpt:
+			return restart()
+		case TorchSave, CheckFreq:
+			return restart() + h.SSDReadTime(S)
+		case Gemini:
+			return restart() + h.NetTime(S)
+		case NaiveDC:
+			nDiffs := r % p.FullEvery / p.Interval
+			perDiff := h.SSDReadTime(dc) + dc/applyBps + mergeFixedSeconds
+			return restart() + h.SSDReadTime(S) + float64(nDiffs)*perDiff
+		case LowDiff:
+			nBatches := r % p.FullEvery / (p.Interval * p.BatchSize)
+			perBatch := h.SSDReadTime(float64(p.BatchSize)*gc) + gc/applyBps + mergeFixedSeconds
+			return restart() + h.SSDReadTime(S) + float64(nBatches)*perBatch
+		case LowDiffPlusS, LowDiffPlusP:
+			if soft {
+				return 10 + h.D2HTime(S)
+			}
+			return restart() + h.SSDReadTime(S/shards)
+		default:
+			return restart()
+		}
+	}
+
+	maxWall := 1000 * cfg.MTBF // safety bound against non-terminating setups
+	for doneIter < cfg.JobIters && now < maxWall {
+		// Advance one iteration or hit the next failure, whichever first.
+		if now+effIter <= nextFail {
+			now += effIter
+			iter++
+			schedulePersists(iter, now)
+			if iter > doneIter {
+				productive += tIter
+				wasted += ov.Wasted() // steady-state ckpt GPU time
+				doneIter = iter
+			} else {
+				wasted += effIter // re-executed work
+			}
+			continue
+		}
+		// Failure strikes mid-iteration.
+		lost := nextFail - now
+		wasted += lost
+		now = nextFail
+		failures++
+		r, soft := recoverable(now)
+		cost := recoveryCost(r, soft)
+		wasted += cost
+		now += cost
+		iter = r
+		device.Reset() // in-flight writes die with the failure
+		nextFail = now + rng.Exp(cfg.MTBF)
+	}
+	total := now
+	ratio := 0.0
+	if total > 0 {
+		ratio = productive / total
+	}
+	return FailureResult{
+		TotalSeconds:      total,
+		ProductiveSeconds: productive,
+		WastedSeconds:     wasted,
+		Failures:          failures,
+		EffectiveRatio:    ratio,
+	}, nil
+}

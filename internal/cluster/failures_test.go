@@ -1,0 +1,223 @@
+package cluster
+
+import (
+	"testing"
+
+	"lowdiff/internal/model"
+	"lowdiff/internal/timemodel"
+)
+
+func failCfg(t *testing.T, s Strategy, mtbf float64) FailureConfig {
+	t.Helper()
+	return FailureConfig{
+		W:        gpt2S(t),
+		P:        Plan{Strategy: s, Interval: 1, FullEvery: 50, BatchSize: 2},
+		JobIters: 20000,
+		MTBF:     mtbf,
+		Seed:     42,
+	}
+}
+
+func TestSimulateFailuresValidation(t *testing.T) {
+	cfg := failCfg(t, LowDiff, 3600)
+	bad := cfg
+	bad.JobIters = 0
+	if _, err := SimulateFailures(bad); err == nil {
+		t.Fatal("want JobIters error")
+	}
+	bad = cfg
+	bad.MTBF = 0
+	if _, err := SimulateFailures(bad); err == nil {
+		t.Fatal("want MTBF error")
+	}
+	bad = cfg
+	bad.P.Strategy = "bogus"
+	if _, err := SimulateFailures(bad); err == nil {
+		t.Fatal("want plan error")
+	}
+	bad = cfg
+	bad.W.Workers = 0
+	if _, err := SimulateFailures(bad); err == nil {
+		t.Fatal("want workload error")
+	}
+}
+
+func TestSimulateFailuresDeterministic(t *testing.T) {
+	a, err := SimulateFailures(failCfg(t, LowDiff, 1800))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SimulateFailures(failCfg(t, LowDiff, 1800))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("same seed diverged: %+v vs %+v", a, b)
+	}
+	c := failCfg(t, LowDiff, 1800)
+	c.Seed = 43
+	r2, err := SimulateFailures(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == r2 {
+		t.Fatal("different seeds should give different timelines")
+	}
+}
+
+func TestNoFailuresMeansNoRecovery(t *testing.T) {
+	cfg := failCfg(t, LowDiff, 1e12) // effectively failure-free
+	r, err := SimulateFailures(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Failures != 0 {
+		t.Fatalf("failures = %d", r.Failures)
+	}
+	// Total = productive + overhead; ratio close to 1/(1+overhead frac).
+	if r.EffectiveRatio < 0.95 || r.EffectiveRatio > 1 {
+		t.Fatalf("failure-free ratio = %v", r.EffectiveRatio)
+	}
+	if r.ProductiveSeconds <= 0 || r.TotalSeconds < r.ProductiveSeconds {
+		t.Fatalf("accounting broken: %+v", r)
+	}
+}
+
+func TestMoreFailuresWasteMore(t *testing.T) {
+	frequent, err := SimulateFailures(failCfg(t, LowDiff, 900))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rare, err := SimulateFailures(failCfg(t, LowDiff, 7200))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frequent.Failures <= rare.Failures {
+		t.Fatalf("failure counts: %d vs %d", frequent.Failures, rare.Failures)
+	}
+	if frequent.EffectiveRatio >= rare.EffectiveRatio {
+		t.Fatalf("ratios: frequent %v >= rare %v", frequent.EffectiveRatio, rare.EffectiveRatio)
+	}
+}
+
+// Paper Exp. 3/9 shape: under failures, LowDiff keeps the lowest wasted
+// time among persisted strategies, and the gap to the baselines grows as
+// failures become frequent.
+func TestWastedTimeOrderingUnderFailures(t *testing.T) {
+	run := func(s Strategy, mtbf float64) FailureResult {
+		cfg := failCfg(t, s, mtbf)
+		switch s {
+		case CheckFreq:
+			cfg.P.Interval = 10
+		case TorchSave:
+			cfg.P.Interval = 200
+		case Gemini:
+			cfg.P.Interval = 1
+		}
+		r, err := SimulateFailures(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	for _, mtbf := range []float64{1800, 3600} {
+		ld := run(LowDiff, mtbf)
+		cf := run(CheckFreq, mtbf)
+		gm := run(Gemini, mtbf)
+		ts := run(TorchSave, mtbf)
+		if !(ld.WastedSeconds < gm.WastedSeconds && ld.WastedSeconds < cf.WastedSeconds && ld.WastedSeconds < ts.WastedSeconds) {
+			t.Fatalf("mtbf=%v: LowDiff wasted %v not the lowest (cf=%v gm=%v ts=%v)",
+				mtbf, ld.WastedSeconds, cf.WastedSeconds, gm.WastedSeconds, ts.WastedSeconds)
+		}
+		if !(ld.EffectiveRatio > cf.EffectiveRatio && ld.EffectiveRatio > ts.EffectiveRatio) {
+			t.Fatalf("mtbf=%v: LowDiff ratio %v not the highest", mtbf, ld.EffectiveRatio)
+		}
+	}
+	// The gap to Gemini grows as MTBF shrinks (paper Exp. 3).
+	gapFrequent := run(Gemini, 1200).WastedSeconds - run(LowDiff, 1200).WastedSeconds
+	gapRare := run(Gemini, 7200).WastedSeconds - run(LowDiff, 7200).WastedSeconds
+	if gapFrequent <= gapRare {
+		t.Fatalf("gap should grow with failure frequency: frequent %v, rare %v", gapFrequent, gapRare)
+	}
+}
+
+// Paper §5.3 / Exp. 3: software failures recover from the in-memory
+// replica (fast); hardware failures fall back to persisted checkpoints.
+func TestPlusSoftwareVsHardwareFailures(t *testing.T) {
+	soft := failCfg(t, LowDiffPlusS, 1200)
+	soft.P.Interval = 2 // persistence interval
+	softR, err := SimulateFailures(soft)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hard := soft
+	hard.Hardware = true
+	hardR, err := SimulateFailures(hard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if softR.WastedSeconds >= hardR.WastedSeconds {
+		t.Fatalf("software-failure wasted %v should be below hardware %v",
+			softR.WastedSeconds, hardR.WastedSeconds)
+	}
+}
+
+func TestInFlightCheckpointNotRecoverable(t *testing.T) {
+	// With a checkpoint whose persist takes longer than the failure
+	// arrives after it was taken, recovery must use the previous one.
+	// Construct: TorchSave on a big model, interval 1 iteration, failures
+	// roughly every couple of iterations.
+	spec, _ := model.ByName("GPT2-L")
+	w := Workload{Spec: spec, HW: timemodel.V100(), Workers: 8, Rho: 0.01}
+	cfg := FailureConfig{
+		W:        w,
+		P:        Plan{Strategy: TorchSave, Interval: 1},
+		JobIters: 50,
+		MTBF:     30,
+		Seed:     7,
+	}
+	r, err := SimulateFailures(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Failures == 0 {
+		t.Fatal("expected failures in this configuration")
+	}
+	// The run must terminate and make progress despite constant failures.
+	if r.ProductiveSeconds <= 0 {
+		t.Fatalf("no productive progress: %+v", r)
+	}
+}
+
+func TestScalingToMoreGPUsReducesRatio(t *testing.T) {
+	// Exp. 10: more GPUs -> proportionally more failures -> lower ratio,
+	// with LowDiff degrading the least.
+	spec, _ := model.ByName("GPT2-S")
+	baseMTBF := 4 * 3600.0
+	prevLD := 1.0
+	for _, gpus := range []int{8, 16, 32, 64} {
+		w := Workload{Spec: spec, HW: timemodel.V100(), Workers: gpus, Rho: 0.01}
+		mtbf := baseMTBF * 8 / float64(gpus)
+		ld, err := SimulateFailures(FailureConfig{
+			W: w, P: Plan{Strategy: LowDiff, Interval: 1, FullEvery: 50, BatchSize: 2},
+			JobIters: 20000, MTBF: mtbf, Seed: 5,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cf, err := SimulateFailures(FailureConfig{
+			W: w, P: Plan{Strategy: CheckFreq, Interval: 10},
+			JobIters: 20000, MTBF: mtbf, Seed: 5,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ld.EffectiveRatio <= cf.EffectiveRatio {
+			t.Fatalf("gpus=%d: LowDiff ratio %v <= CheckFreq %v", gpus, ld.EffectiveRatio, cf.EffectiveRatio)
+		}
+		if ld.EffectiveRatio > prevLD+1e-9 {
+			t.Fatalf("gpus=%d: ratio should not grow with more GPUs", gpus)
+		}
+		prevLD = ld.EffectiveRatio
+	}
+}

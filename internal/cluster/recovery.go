@@ -1,0 +1,93 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+
+	"lowdiff/internal/timemodel"
+)
+
+// Recovery-cost constants for the checkpoint-restoration microbenchmark
+// (Exp. 5): RecoveryTime measures restoring state in a clean harness, so
+// its restart terms cover only process bring-up (hard) or re-spawning the
+// training process next to the surviving checkpointing process (soft,
+// §5.3). applyBps is the CPU rate of merging a loaded differential into
+// the model state.
+//
+// The failure-timeline simulation (failures.go) instead charges full
+// cluster-level job-restart costs, which differ by strategy.
+const (
+	hardRestartSeconds = 0.35
+	softRestartSeconds = 0.10
+	applyBps           = 20e9
+	mergeFixedSeconds  = 0.005
+)
+
+// RecoveryTime returns the simulated time to recover a failed job for the
+// given strategy with full checkpoints every fullEvery iterations,
+// assuming the worst case (failure immediately before the next full
+// checkpoint). parallel selects LowDiff's parallel recovery module
+// (pairwise log-n merging, §6.1).
+func RecoveryTime(w Workload, s Strategy, fullEvery int, parallel bool) (float64, error) {
+	if err := w.Validate(); err != nil {
+		return 0, err
+	}
+	if fullEvery < 1 {
+		return 0, fmt.Errorf("cluster: fullEvery %d must be >= 1", fullEvery)
+	}
+	h := w.HW
+	tIter := w.IterTime()
+	S := timemodel.FullCheckpointBytes(w.Spec)
+	n := float64(fullEvery)
+
+	switch s {
+	case WOCkpt:
+		// Nothing persisted: restart from scratch is unbounded; report
+		// the full re-execution of the interval for comparability.
+		return hardRestartSeconds + n*tIter, nil
+
+	case TorchSave, CheckFreq:
+		// Load the full checkpoint, re-execute the lost interval.
+		return hardRestartSeconds + h.SSDReadTime(S) + n*tIter, nil
+
+	case Gemini:
+		// Checkpoint lives in a peer's CPU memory: fetch over the network,
+		// re-execute the lost interval.
+		return hardRestartSeconds + h.NetTime(S) + n*tIter, nil
+
+	case NaiveDC:
+		// Load the full checkpoint, then serially load and merge each
+		// per-iteration state-delta differential (Check-N-Run recovery).
+		dc := timemodel.NaiveDCBytes(w.Spec, w.Rho)
+		perDiff := h.SSDReadTime(dc) + dc/applyBps + mergeFixedSeconds
+		return hardRestartSeconds + h.SSDReadTime(S) + n*perDiff, nil
+
+	case LowDiff:
+		gc := timemodel.CompressedGradBytes(w.Spec, w.Rho, w.Workers)
+		if !parallel {
+			perDiff := h.SSDReadTime(gc) + gc/applyBps + mergeFixedSeconds
+			return hardRestartSeconds + h.SSDReadTime(S) + n*perDiff, nil
+		}
+		// Parallel recovery: differentials load concurrently (bounded by
+		// aggregate read time), then merge in ceil(log2 n) rounds.
+		rounds := math.Ceil(math.Log2(math.Max(2, n)))
+		loads := math.Max(h.SSDReadTime(gc), h.SSDReadTime(n*gc)/4) // 4-way parallel reads
+		merges := rounds * (gc/applyBps + mergeFixedSeconds)
+		final := gc/applyBps + mergeFixedSeconds
+		return hardRestartSeconds + h.SSDReadTime(S) + loads + merges + final, nil
+
+	case LowDiffPlusS:
+		// Software failure: the CPU replica survives; copy it back to the
+		// GPUs and redo the in-flight iteration (§5.3).
+		return softRestartSeconds + h.D2HTime(S) + 0.5*tIter, nil
+
+	case LowDiffPlusP:
+		// Hardware failure: reload the last persisted replica checkpoint
+		// (sharded reads across servers) and redo the lost interval.
+		shards := float64(maxInt(1, w.Workers/gpusPerServer))
+		return hardRestartSeconds + h.SSDReadTime(S/shards) + n*tIter, nil
+
+	default:
+		return 0, fmt.Errorf("cluster: unknown strategy %q", s)
+	}
+}

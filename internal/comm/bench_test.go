@@ -1,0 +1,59 @@
+package comm
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"lowdiff/internal/tensor"
+)
+
+func benchAllReduce(b *testing.B, ring bool, workers, n int) {
+	b.Helper()
+	g, err := NewGroup(workers)
+	if err != nil {
+		b.Fatal(err)
+	}
+	vecs := make([]tensor.Vector, workers)
+	for w := range vecs {
+		vecs[w] = tensor.New(n)
+		tensor.NewRNG(uint64(w)).FillUniform(vecs[w], -1, 1)
+	}
+	b.SetBytes(int64(workers * n * 4))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				var err error
+				if ring {
+					err = g.RingAllReduceSum(w, vecs[w])
+				} else {
+					err = g.AllReduceSum(w, vecs[w])
+				}
+				if err != nil {
+					b.Error(err)
+				}
+			}(w)
+		}
+		wg.Wait()
+	}
+}
+
+func BenchmarkAllReduceCentral(b *testing.B) {
+	for _, workers := range []int{2, 8} {
+		b.Run(fmt.Sprintf("w=%d", workers), func(b *testing.B) {
+			benchAllReduce(b, false, workers, 1<<16)
+		})
+	}
+}
+
+func BenchmarkAllReduceRing(b *testing.B) {
+	for _, workers := range []int{2, 8} {
+		b.Run(fmt.Sprintf("w=%d", workers), func(b *testing.B) {
+			benchAllReduce(b, true, workers, 1<<16)
+		})
+	}
+}

@@ -1,0 +1,126 @@
+package compress
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"lowdiff/internal/tensor"
+)
+
+func benchGrad(n int) tensor.Vector {
+	g := tensor.New(n)
+	tensor.NewRNG(1).FillUniform(g, -1, 1)
+	return g
+}
+
+func BenchmarkTopKCompress(b *testing.B) {
+	for _, n := range []int{1 << 14, 1 << 18} {
+		for _, rho := range []float64{0.01, 0.1} {
+			b.Run(fmt.Sprintf("n=%d/rho=%v", n, rho), func(b *testing.B) {
+				g := benchGrad(n)
+				tk, _ := NewTopK(rho)
+				b.SetBytes(int64(n * 4))
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := tk.Compress(g); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+func BenchmarkInt8Compress(b *testing.B) {
+	g := benchGrad(1 << 16)
+	b.SetBytes(int64(len(g) * 4))
+	for i := 0; i < b.N; i++ {
+		if _, err := (Int8{}).Compress(g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMerge(b *testing.B) {
+	const n = 1 << 16
+	g := benchGrad(n)
+	tk, _ := NewTopK(0.01)
+	parts := make([]*Compressed, 8)
+	for i := range parts {
+		c, err := tk.Compress(g)
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Shift indices a little so the union is non-trivial.
+		for j := range c.Idx {
+			c.Idx[j] = (c.Idx[j] + int32(i*7)) % n
+		}
+		d := c.Clone()
+		d.Idx = dedupSort(d.Idx, d.Vals)
+		parts[i] = d
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Merge(parts...); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// dedupSort restores the strictly-increasing index invariant after the
+// synthetic shifting above.
+func dedupSort(idx []int32, vals []float32) []int32 {
+	type pair struct {
+		j int32
+		v float32
+	}
+	m := map[int32]float32{}
+	for i, j := range idx {
+		m[j] = vals[i]
+	}
+	out := idx[:0]
+	for j := range m {
+		out = append(out, j)
+	}
+	for i := 1; i < len(out); i++ {
+		for k := i; k > 0 && out[k] < out[k-1]; k-- {
+			out[k], out[k-1] = out[k-1], out[k]
+		}
+	}
+	for i, j := range out {
+		vals[i] = m[j]
+	}
+	return out
+}
+
+func BenchmarkWireEncodeDecode(b *testing.B) {
+	g := benchGrad(1 << 16)
+	tk, _ := NewTopK(0.05)
+	c, err := tk.Compress(g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(c.EncodedBytes())
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := c.Encode(&buf); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := Decode(&buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkErrorFeedback(b *testing.B) {
+	g := benchGrad(1 << 16)
+	tk, _ := NewTopK(0.01)
+	ef, _ := NewErrorFeedback(tk, len(g))
+	b.SetBytes(int64(len(g) * 4))
+	for i := 0; i < b.N; i++ {
+		if _, err := ef.Compress(g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

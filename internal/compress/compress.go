@@ -1,0 +1,426 @@
+// Package compress implements the gradient compression codecs the paper
+// builds on (§2.3): Top-K and random-K sparsification, int8 quantization,
+// and an identity codec for the non-compressed LowDiff+ path.
+//
+// A Compressed value is the unit that flows through the whole system: it is
+// what workers synchronize, what the reusing queue carries, what a
+// differential checkpoint stores, and what the batched writer accumulates.
+// Sparse accumulation (Merge) is the "gradient batching" primitive of
+// §4.2 — the union-sum of sparse gradients.
+package compress
+
+import (
+	"fmt"
+	"sort"
+
+	"lowdiff/internal/tensor"
+)
+
+// Compressed is a compressed gradient. Exactly one payload family is
+// populated: sparse codecs use Idx/Vals, quantized codecs use Q/Scale, and
+// the identity codec uses Vals alone (Idx nil, len(Vals) == N).
+type Compressed struct {
+	Codec string  // codec name ("topk", "randk", "int8", "identity")
+	N     int     // dense (logical) length
+	Idx   []int32 // sparse indices, strictly increasing
+	Vals  []float32
+	Q     []byte  // quantized payload
+	Scale float32 // quantization scale
+}
+
+// Bytes returns the wire size of the compressed payload: the transmission
+// and storage cost the paper's Finding 2 reasons about.
+func (c *Compressed) Bytes() int64 {
+	var n int64
+	n += int64(len(c.Idx)) * 4
+	n += int64(len(c.Vals)) * 4
+	n += int64(len(c.Q))
+	if len(c.Q) > 0 {
+		n += 4 // scale
+	}
+	return n
+}
+
+// NNZ returns the number of carried values.
+func (c *Compressed) NNZ() int {
+	if len(c.Q) > 0 {
+		return len(c.Q)
+	}
+	return len(c.Vals)
+}
+
+// Clone deep-copies the compressed gradient.
+func (c *Compressed) Clone() *Compressed {
+	out := &Compressed{Codec: c.Codec, N: c.N, Scale: c.Scale}
+	if c.Idx != nil {
+		out.Idx = append([]int32(nil), c.Idx...)
+	}
+	if c.Vals != nil {
+		out.Vals = append([]float32(nil), c.Vals...)
+	}
+	if c.Q != nil {
+		out.Q = append([]byte(nil), c.Q...)
+	}
+	return out
+}
+
+// Validate checks internal consistency.
+func (c *Compressed) Validate() error {
+	if c.N < 0 {
+		return fmt.Errorf("compress: negative dense length %d", c.N)
+	}
+	switch {
+	case len(c.Q) > 0:
+		if len(c.Idx) != 0 || len(c.Vals) != 0 {
+			return fmt.Errorf("compress: quantized payload mixed with sparse payload")
+		}
+		if len(c.Q) != c.N {
+			return fmt.Errorf("compress: quantized payload length %d != N %d", len(c.Q), c.N)
+		}
+	case c.Idx != nil:
+		if len(c.Idx) != len(c.Vals) {
+			return fmt.Errorf("compress: idx length %d != vals length %d", len(c.Idx), len(c.Vals))
+		}
+		prev := int32(-1)
+		for _, j := range c.Idx {
+			if j <= prev {
+				return fmt.Errorf("compress: indices not strictly increasing at %d", j)
+			}
+			if int(j) >= c.N {
+				return fmt.Errorf("compress: index %d out of range [0,%d)", j, c.N)
+			}
+			prev = j
+		}
+	default:
+		if len(c.Vals) != c.N {
+			return fmt.Errorf("compress: dense payload length %d != N %d", len(c.Vals), c.N)
+		}
+	}
+	return nil
+}
+
+// AddInto scatter-adds the decompressed gradient into dense (length N).
+// This is how the optimizer, the CPU replica, and recovery apply a
+// compressed gradient without materializing an intermediate vector.
+func (c *Compressed) AddInto(dense tensor.Vector) error {
+	if len(dense) != c.N {
+		return fmt.Errorf("compress: AddInto length %d, want %d", len(dense), c.N)
+	}
+	switch {
+	case len(c.Q) > 0:
+		for i, q := range c.Q {
+			dense[i] += float32(int8(q)) * c.Scale
+		}
+	case c.Idx != nil:
+		for i, j := range c.Idx {
+			if j < 0 || int(j) >= c.N {
+				return fmt.Errorf("compress: AddInto index %d out of range [0,%d)", j, c.N)
+			}
+			dense[j] += c.Vals[i]
+		}
+	default:
+		for i, v := range c.Vals {
+			dense[i] += v
+		}
+	}
+	return nil
+}
+
+// Decompress writes the dense gradient into out (length N), overwriting it.
+func (c *Compressed) Decompress(out tensor.Vector) error {
+	if len(out) != c.N {
+		return fmt.Errorf("compress: decompress into length %d, want %d", len(out), c.N)
+	}
+	out.Zero()
+	return c.AddInto(out)
+}
+
+// Compressor turns a dense gradient into a Compressed payload.
+type Compressor interface {
+	// Compress encodes grad. The result does not alias grad.
+	Compress(grad tensor.Vector) (*Compressed, error)
+	// Name identifies the codec.
+	Name() string
+	// Ratio returns the nominal compression ratio ρ (carried values / N),
+	// or 1 for non-sparsifying codecs.
+	Ratio() float64
+}
+
+// TopK selects the k = ceil(ρ·N) entries of largest magnitude (the common
+// sparsification scheme; ties break toward the lower index so compression
+// is deterministic).
+type TopK struct {
+	R float64 // ratio ρ in (0, 1]
+}
+
+// NewTopK returns a Top-K compressor with ratio ρ.
+func NewTopK(rho float64) (*TopK, error) {
+	if rho <= 0 || rho > 1 {
+		return nil, fmt.Errorf("compress: topk ratio %v out of (0,1]", rho)
+	}
+	return &TopK{R: rho}, nil
+}
+
+// Name implements Compressor.
+func (t *TopK) Name() string { return "topk" }
+
+// Ratio implements Compressor.
+func (t *TopK) Ratio() float64 { return t.R }
+
+// Compress implements Compressor.
+func (t *TopK) Compress(grad tensor.Vector) (*Compressed, error) {
+	n := len(grad)
+	k := int(float64(n)*t.R + 0.999999)
+	if k < 1 {
+		k = 1
+	}
+	if k > n {
+		k = n
+	}
+	idx := topKIndices(grad, k)
+	vals := make([]float32, len(idx))
+	for i, j := range idx {
+		vals[i] = grad[j]
+	}
+	return &Compressed{Codec: "topk", N: n, Idx: idx, Vals: vals}, nil
+}
+
+// topKIndices returns the indices of the k largest-magnitude entries in
+// increasing index order. Ties break toward the lower index.
+func topKIndices(g tensor.Vector, k int) []int32 {
+	n := len(g)
+	if k >= n {
+		idx := make([]int32, n)
+		for i := range idx {
+			idx[i] = int32(i)
+		}
+		return idx
+	}
+	// Min-heap of size k keyed by (|v|, -index): the root is the weakest
+	// element currently kept; a new element replaces it when strictly
+	// stronger under the (magnitude, lower-index-wins) order.
+	heap := make([]int32, 0, k)
+	abs := func(i int32) float32 {
+		v := g[i]
+		if v < 0 {
+			return -v
+		}
+		return v
+	}
+	// less reports whether a is weaker than b (kept-set comparison).
+	less := func(a, b int32) bool {
+		av, bv := abs(a), abs(b)
+		if av != bv {
+			return av < bv
+		}
+		return a > b // higher index is weaker on ties
+	}
+	down := func(i int) {
+		for {
+			l, r := 2*i+1, 2*i+2
+			m := i
+			if l < len(heap) && less(heap[l], heap[m]) {
+				m = l
+			}
+			if r < len(heap) && less(heap[r], heap[m]) {
+				m = r
+			}
+			if m == i {
+				return
+			}
+			heap[i], heap[m] = heap[m], heap[i]
+			i = m
+		}
+	}
+	up := func(i int) {
+		for i > 0 {
+			p := (i - 1) / 2
+			if !less(heap[i], heap[p]) {
+				return
+			}
+			heap[i], heap[p] = heap[p], heap[i]
+			i = p
+		}
+	}
+	for i := 0; i < n; i++ {
+		j := int32(i)
+		if len(heap) < k {
+			heap = append(heap, j)
+			up(len(heap) - 1)
+			continue
+		}
+		if less(heap[0], j) {
+			heap[0] = j
+			down(0)
+		}
+	}
+	sort.Slice(heap, func(a, b int) bool { return heap[a] < heap[b] })
+	return heap
+}
+
+// RandK selects k = ceil(ρ·N) pseudo-random indices per call from a seeded
+// stream, so compression is deterministic given the construction seed and
+// call order.
+type RandK struct {
+	R   float64
+	rng *tensor.RNG
+}
+
+// NewRandK returns a random-K compressor with ratio ρ and the given seed.
+func NewRandK(rho float64, seed uint64) (*RandK, error) {
+	if rho <= 0 || rho > 1 {
+		return nil, fmt.Errorf("compress: randk ratio %v out of (0,1]", rho)
+	}
+	return &RandK{R: rho, rng: tensor.NewRNG(seed)}, nil
+}
+
+// Name implements Compressor.
+func (r *RandK) Name() string { return "randk" }
+
+// Ratio implements Compressor.
+func (r *RandK) Ratio() float64 { return r.R }
+
+// Compress implements Compressor.
+func (r *RandK) Compress(grad tensor.Vector) (*Compressed, error) {
+	n := len(grad)
+	k := int(float64(n)*r.R + 0.999999)
+	if k < 1 {
+		k = 1
+	}
+	if k > n {
+		k = n
+	}
+	seen := make(map[int32]bool, k)
+	idx := make([]int32, 0, k)
+	for len(idx) < k {
+		j := int32(r.rng.Intn(n))
+		if !seen[j] {
+			seen[j] = true
+			idx = append(idx, j)
+		}
+	}
+	sort.Slice(idx, func(a, b int) bool { return idx[a] < idx[b] })
+	vals := make([]float32, k)
+	for i, j := range idx {
+		vals[i] = grad[j]
+	}
+	return &Compressed{Codec: "randk", N: n, Idx: idx, Vals: vals}, nil
+}
+
+// Int8 quantizes each element to 8 bits with a per-tensor absmax scale.
+type Int8 struct{}
+
+// Name implements Compressor.
+func (Int8) Name() string { return "int8" }
+
+// Ratio implements Compressor.
+func (Int8) Ratio() float64 { return 1 }
+
+// Compress implements Compressor.
+func (Int8) Compress(grad tensor.Vector) (*Compressed, error) {
+	n := len(grad)
+	q := make([]byte, n)
+	mx := grad.AbsMax()
+	if mx == 0 {
+		return &Compressed{Codec: "int8", N: n, Q: q, Scale: 0}, nil
+	}
+	scale := mx / 127
+	inv := 1 / scale
+	for i, v := range grad {
+		x := v * inv
+		switch {
+		case x > 127:
+			x = 127
+		case x < -127:
+			x = -127
+		}
+		if x >= 0 {
+			q[i] = byte(int8(x + 0.5))
+		} else {
+			q[i] = byte(int8(x - 0.5))
+		}
+	}
+	return &Compressed{Codec: "int8", N: n, Q: q, Scale: scale}, nil
+}
+
+// Identity passes the gradient through uncompressed (the LowDiff+ setting).
+type Identity struct{}
+
+// Name implements Compressor.
+func (Identity) Name() string { return "identity" }
+
+// Ratio implements Compressor.
+func (Identity) Ratio() float64 { return 1 }
+
+// Compress implements Compressor.
+func (Identity) Compress(grad tensor.Vector) (*Compressed, error) {
+	return &Compressed{Codec: "identity", N: len(grad), Vals: append([]float32(nil), grad...)}, nil
+}
+
+// New constructs a compressor by name. rho is ignored by non-sparsifying
+// codecs; seed is used only by randk.
+func New(name string, rho float64, seed uint64) (Compressor, error) {
+	switch name {
+	case "topk":
+		return NewTopK(rho)
+	case "randk":
+		return NewRandK(rho, seed)
+	case "int8":
+		return Int8{}, nil
+	case "identity", "none", "":
+		return Identity{}, nil
+	default:
+		return nil, fmt.Errorf("compress: unknown codec %q", name)
+	}
+}
+
+// Merge returns the union-sum of sparse compressed gradients: the batching
+// primitive behind §4.2's batched gradient writes and the paper's gradient
+// accumulation. All inputs must be sparse (or identity) with the same N.
+// Merging is associative and commutative, which is what makes the parallel
+// log-n recovery tree valid.
+func Merge(parts ...*Compressed) (*Compressed, error) {
+	if len(parts) == 0 {
+		return nil, fmt.Errorf("compress: merge of zero gradients")
+	}
+	n := parts[0].N
+	dense := false
+	for _, p := range parts {
+		if p.N != n {
+			return nil, fmt.Errorf("compress: merge length mismatch: %d vs %d", p.N, n)
+		}
+		if len(p.Q) > 0 {
+			return nil, fmt.Errorf("compress: cannot merge quantized gradient; dequantize first")
+		}
+		if p.Idx == nil {
+			dense = true
+		}
+	}
+	if dense {
+		// Any dense input forces a dense result.
+		out := make([]float32, n)
+		v := tensor.Vector(out)
+		for _, p := range parts {
+			if err := p.AddInto(v); err != nil {
+				return nil, err
+			}
+		}
+		return &Compressed{Codec: "merged", N: n, Vals: out}, nil
+	}
+	sum := make(map[int32]float32)
+	for _, p := range parts {
+		for i, j := range p.Idx {
+			sum[j] += p.Vals[i]
+		}
+	}
+	idx := make([]int32, 0, len(sum))
+	for j := range sum {
+		idx = append(idx, j)
+	}
+	sort.Slice(idx, func(a, b int) bool { return idx[a] < idx[b] })
+	vals := make([]float32, len(idx))
+	for i, j := range idx {
+		vals[i] = sum[j]
+	}
+	return &Compressed{Codec: "merged", N: n, Idx: idx, Vals: vals}, nil
+}

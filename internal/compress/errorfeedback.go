@@ -1,0 +1,88 @@
+package compress
+
+import (
+	"fmt"
+
+	"lowdiff/internal/tensor"
+)
+
+// ErrorFeedback wraps a sparsifying compressor with the standard
+// error-feedback (EF) memory used by communication-efficient training: the
+// residual each compression step discards is accumulated locally and added
+// to the next gradient before compressing, so no signal is permanently
+// lost. With EF, Top-K training converges at aggressive ratios where plain
+// Top-K stalls.
+//
+// Checkpointing is unaffected: the synchronized compressed gradient — which
+// the reusing queue persists and recovery replays — already includes the
+// fed-back residual, so differential replay remains exact with respect to
+// what training applied.
+type ErrorFeedback struct {
+	inner    Compressor
+	residual tensor.Vector
+	scratch  tensor.Vector
+}
+
+// NewErrorFeedback wraps inner with an EF memory for gradients of length n.
+func NewErrorFeedback(inner Compressor, n int) (*ErrorFeedback, error) {
+	if inner == nil {
+		return nil, fmt.Errorf("compress: error feedback needs a compressor")
+	}
+	if n <= 0 {
+		return nil, fmt.Errorf("compress: error feedback length %d must be positive", n)
+	}
+	return &ErrorFeedback{
+		inner:    inner,
+		residual: tensor.New(n),
+		scratch:  tensor.New(n),
+	}, nil
+}
+
+// Name implements Compressor.
+func (e *ErrorFeedback) Name() string { return e.inner.Name() + "+ef" }
+
+// Ratio implements Compressor.
+func (e *ErrorFeedback) Ratio() float64 { return e.inner.Ratio() }
+
+// Compress implements Compressor: compresses grad + residual and keeps the
+// part the codec dropped as the next residual.
+func (e *ErrorFeedback) Compress(grad tensor.Vector) (*Compressed, error) {
+	if len(grad) != len(e.residual) {
+		return nil, fmt.Errorf("compress: error feedback got gradient length %d, want %d",
+			len(grad), len(e.residual))
+	}
+	// corrected = grad + residual
+	copy(e.scratch, e.residual)
+	if err := e.scratch.Add(grad); err != nil {
+		return nil, err
+	}
+	c, err := e.inner.Compress(e.scratch)
+	if err != nil {
+		return nil, err
+	}
+	// residual = corrected - decompress(c): zero out transmitted entries.
+	copy(e.residual, e.scratch)
+	switch {
+	case c.Idx != nil:
+		for i, j := range c.Idx {
+			e.residual[j] = e.scratch[j] - c.Vals[i]
+		}
+	case len(c.Q) > 0:
+		for i, q := range c.Q {
+			e.residual[i] = e.scratch[i] - float32(int8(q))*c.Scale
+		}
+	default:
+		for i, v := range c.Vals {
+			e.residual[i] = e.scratch[i] - v
+		}
+	}
+	return c, nil
+}
+
+// ResidualNorm returns the Euclidean norm of the EF memory (for tests and
+// monitoring: boundedness of the residual is the EF convergence condition).
+func (e *ErrorFeedback) ResidualNorm() float64 { return e.residual.Norm2() }
+
+// Reset clears the EF memory (e.g. after recovery, matching a fresh
+// worker whose residual state is not checkpointed).
+func (e *ErrorFeedback) Reset() { e.residual.Zero() }

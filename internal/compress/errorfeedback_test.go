@@ -1,0 +1,210 @@
+package compress
+
+import (
+	"testing"
+
+	"lowdiff/internal/tensor"
+)
+
+func TestErrorFeedbackValidation(t *testing.T) {
+	tk, _ := NewTopK(0.1)
+	if _, err := NewErrorFeedback(nil, 4); err == nil {
+		t.Fatal("want nil-compressor error")
+	}
+	if _, err := NewErrorFeedback(tk, 0); err == nil {
+		t.Fatal("want length error")
+	}
+	ef, err := NewErrorFeedback(tk, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ef.Compress(tensor.New(5)); err == nil {
+		t.Fatal("want length-mismatch error")
+	}
+	if ef.Name() != "topk+ef" {
+		t.Fatalf("Name = %q", ef.Name())
+	}
+	if ef.Ratio() != 0.1 {
+		t.Fatalf("Ratio = %v", ef.Ratio())
+	}
+}
+
+// The defining EF identity: transmitted + residual == gradient + previous
+// residual, every step.
+func TestErrorFeedbackConservation(t *testing.T) {
+	const n = 64
+	tk, _ := NewTopK(0.1)
+	ef, _ := NewErrorFeedback(tk, n)
+	r := tensor.NewRNG(1)
+	prevResidual := tensor.New(n)
+	for step := 0; step < 20; step++ {
+		g := tensor.New(n)
+		r.FillUniform(g, -1, 1)
+		c, err := ef.Compress(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sent := tensor.New(n)
+		if err := c.Decompress(sent); err != nil {
+			t.Fatal(err)
+		}
+		// sent + residual must equal g + prevResidual.
+		lhs := sent.Clone()
+		if err := lhs.Add(ef.residual); err != nil {
+			t.Fatal(err)
+		}
+		rhs := g.Clone()
+		if err := rhs.Add(prevResidual); err != nil {
+			t.Fatal(err)
+		}
+		md, err := lhs.MaxAbsDiff(rhs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if md > 1e-6 {
+			t.Fatalf("step %d: EF conservation violated by %v", step, md)
+		}
+		prevResidual = ef.residual.Clone()
+	}
+}
+
+// A constant gradient is never lost: with ratio rho, EF eventually
+// transmits mass from every coordinate (a coordinate with rate g_i is
+// selected once its accumulation beats the pending maxima, which takes
+// on the order of sum(g)/g_i steps), while plain Top-K starves the small
+// ones forever.
+func TestErrorFeedbackDrainsAllCoordinates(t *testing.T) {
+	const n = 20
+	g := tensor.New(n)
+	for i := range g {
+		g[i] = float32(i + 1) // coordinate n-1 dominates
+	}
+	tk, _ := NewTopK(0.05) // k = 1
+	ef, _ := NewErrorFeedback(tk, n)
+	plain, _ := NewTopK(0.05)
+
+	sentEF := tensor.New(n)
+	sentPlain := tensor.New(n)
+	for step := 0; step < 600; step++ {
+		c, err := ef.Compress(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.AddInto(sentEF); err != nil {
+			t.Fatal(err)
+		}
+		p, err := plain.Compress(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := p.AddInto(sentPlain); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Plain Top-K only ever transmits the largest coordinate.
+	for i := 0; i < n-1; i++ {
+		if sentPlain[i] != 0 {
+			t.Fatalf("plain topk transmitted coordinate %d", i)
+		}
+	}
+	// EF transmits every coordinate eventually.
+	for i := range sentEF {
+		if sentEF[i] == 0 {
+			t.Fatalf("EF starved coordinate %d", i)
+		}
+	}
+	// And its residual stays bounded (here: below the one-step gradient).
+	if ef.ResidualNorm() > tensor.Vector(g).Norm2()*float64(n) {
+		t.Fatalf("EF residual diverged: %v", ef.ResidualNorm())
+	}
+}
+
+// The classic EF scenario: a small persistent signal buried under large
+// zero-mean noise. Plain Top-K always selects noise coordinates and never
+// transmits the signal; EF accumulates it until it wins.
+func TestErrorFeedbackRecoversBuriedSignal(t *testing.T) {
+	const n = 64
+	const signalIdx = n - 1
+	const lr = 0.01
+
+	run := func(comp Compressor, seed uint64) float32 {
+		r := tensor.NewRNG(seed)
+		x := tensor.New(n)
+		g := tensor.New(n)
+		for step := 0; step < 500; step++ {
+			// Zero-mean noise gradient on 0..n-2, constant small signal
+			// pulling x[signalIdx] toward 1.
+			r.FillUniform(g[:signalIdx], -10, 10)
+			g[signalIdx] = 2 * (x[signalIdx] - 1) // magnitude <= 2, << 10
+			c, err := comp.Compress(g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dense := tensor.New(n)
+			if err := c.Decompress(dense); err != nil {
+				t.Fatal(err)
+			}
+			for i := range x {
+				x[i] -= lr * dense[i]
+			}
+		}
+		return x[signalIdx]
+	}
+
+	tkPlain, _ := NewTopK(0.05)
+	tkEF, _ := NewTopK(0.05)
+	ef, _ := NewErrorFeedback(tkEF, n)
+	plainX := run(tkPlain, 9)
+	efX := run(ef, 9)
+	if plainX != 0 {
+		t.Fatalf("plain topk should starve the signal coordinate, moved to %v", plainX)
+	}
+	if efX < 0.3 {
+		t.Fatalf("EF should recover the buried signal: x = %v, want progress toward 1", efX)
+	}
+}
+
+func TestErrorFeedbackReset(t *testing.T) {
+	tk, _ := NewTopK(0.1)
+	ef, _ := NewErrorFeedback(tk, 16)
+	g := tensor.New(16)
+	tensor.NewRNG(4).FillUniform(g, -1, 1)
+	if _, err := ef.Compress(g); err != nil {
+		t.Fatal(err)
+	}
+	if ef.ResidualNorm() == 0 {
+		t.Fatal("residual should be nonzero after a lossy step")
+	}
+	ef.Reset()
+	if ef.ResidualNorm() != 0 {
+		t.Fatal("Reset should clear the residual")
+	}
+}
+
+func TestErrorFeedbackWithQuantizer(t *testing.T) {
+	ef, err := NewErrorFeedback(Int8{}, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := tensor.New(32)
+	tensor.NewRNG(5).FillUniform(g, -1, 1)
+	c, err := ef.Compress(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Q) != 32 {
+		t.Fatalf("quantized payload length %d", len(c.Q))
+	}
+	// Residual equals the quantization error of the first step.
+	dense := tensor.New(32)
+	if err := c.Decompress(dense); err != nil {
+		t.Fatal(err)
+	}
+	for i := range g {
+		want := g[i] - dense[i]
+		got := ef.residual[i]
+		if d := want - got; d > 1e-6 || d < -1e-6 {
+			t.Fatalf("residual[%d] = %v, want %v", i, got, want)
+		}
+	}
+}

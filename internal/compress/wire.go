@@ -1,0 +1,167 @@
+package compress
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Wire format (little endian):
+//
+//	magic   uint32  'LDCG'
+//	version uint16
+//	codec   uint8 length + bytes
+//	n       uint64  dense length
+//	nidx    uint64  index count   (0 when absent)
+//	nvals   uint64  value count   (0 when absent)
+//	nq      uint64  quantized byte count (0 when absent)
+//	scale   float32
+//	payloads in the order idx, vals, q
+//
+// Encode and Decode read/write exactly one record and never over-read, so
+// records can be streamed back to back on a single reader.
+const (
+	wireMagic   = 0x4c444347 // "LDCG"
+	wireVersion = 1
+)
+
+// maxWireElems bounds decoded element counts; a compressed gradient larger
+// than this (8G elements) is certainly corrupt.
+const maxWireElems = 1 << 33
+
+// readChunked reads exactly n bytes in bounded chunks, so a corrupt length
+// field fails at EOF with memory proportional to the actual stream instead
+// of pre-allocating the claimed size.
+func readChunked(r io.Reader, n uint64) ([]byte, error) {
+	const chunk = 4 << 20
+	initial := n
+	if initial > chunk {
+		initial = chunk
+	}
+	out := make([]byte, 0, initial)
+	for uint64(len(out)) < n {
+		step := n - uint64(len(out))
+		if step > chunk {
+			step = chunk
+		}
+		start := len(out)
+		out = append(out, make([]byte, step)...)
+		if _, err := io.ReadFull(r, out[start:]); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// EncodedBytes returns the exact wire size of the record.
+func (c *Compressed) EncodedBytes() int64 {
+	return int64(4+2+1+len(c.Codec)+4*8+4) + int64(len(c.Idx))*4 + int64(len(c.Vals))*4 + int64(len(c.Q))
+}
+
+// Encode writes the compressed gradient to w in the LDCG wire format.
+func (c *Compressed) Encode(w io.Writer) error {
+	if len(c.Codec) > 255 {
+		return fmt.Errorf("compress: codec name too long: %d", len(c.Codec))
+	}
+	hdr := make([]byte, 0, 64)
+	hdr = binary.LittleEndian.AppendUint32(hdr, wireMagic)
+	hdr = binary.LittleEndian.AppendUint16(hdr, wireVersion)
+	hdr = append(hdr, byte(len(c.Codec)))
+	hdr = append(hdr, c.Codec...)
+	hdr = binary.LittleEndian.AppendUint64(hdr, uint64(c.N))
+	hdr = binary.LittleEndian.AppendUint64(hdr, uint64(len(c.Idx)))
+	hdr = binary.LittleEndian.AppendUint64(hdr, uint64(len(c.Vals)))
+	hdr = binary.LittleEndian.AppendUint64(hdr, uint64(len(c.Q)))
+	hdr = binary.LittleEndian.AppendUint32(hdr, math.Float32bits(c.Scale))
+	if _, err := w.Write(hdr); err != nil {
+		return fmt.Errorf("compress: encode header: %w", err)
+	}
+	if len(c.Idx) > 0 {
+		buf := make([]byte, 4*len(c.Idx))
+		for i, j := range c.Idx {
+			binary.LittleEndian.PutUint32(buf[4*i:], uint32(j))
+		}
+		if _, err := w.Write(buf); err != nil {
+			return fmt.Errorf("compress: encode idx: %w", err)
+		}
+	}
+	if len(c.Vals) > 0 {
+		buf := make([]byte, 4*len(c.Vals))
+		for i, v := range c.Vals {
+			binary.LittleEndian.PutUint32(buf[4*i:], math.Float32bits(v))
+		}
+		if _, err := w.Write(buf); err != nil {
+			return fmt.Errorf("compress: encode vals: %w", err)
+		}
+	}
+	if len(c.Q) > 0 {
+		if _, err := w.Write(c.Q); err != nil {
+			return fmt.Errorf("compress: encode quantized payload: %w", err)
+		}
+	}
+	return nil
+}
+
+// Decode reads exactly one compressed gradient in the LDCG wire format.
+func Decode(r io.Reader) (*Compressed, error) {
+	var fixed [7]byte // magic + version + name length
+	if _, err := io.ReadFull(r, fixed[:]); err != nil {
+		return nil, fmt.Errorf("compress: decode header: %w", err)
+	}
+	if magic := binary.LittleEndian.Uint32(fixed[0:4]); magic != wireMagic {
+		return nil, fmt.Errorf("compress: bad magic %#x", magic)
+	}
+	if version := binary.LittleEndian.Uint16(fixed[4:6]); version != wireVersion {
+		return nil, fmt.Errorf("compress: unsupported wire version %d", version)
+	}
+	nameLen := int(fixed[6])
+	rest := make([]byte, nameLen+4*8+4)
+	if _, err := io.ReadFull(r, rest); err != nil {
+		return nil, fmt.Errorf("compress: decode header: %w", err)
+	}
+	name := string(rest[:nameLen])
+	off := nameLen
+	n := binary.LittleEndian.Uint64(rest[off:])
+	nidx := binary.LittleEndian.Uint64(rest[off+8:])
+	nvals := binary.LittleEndian.Uint64(rest[off+16:])
+	nq := binary.LittleEndian.Uint64(rest[off+24:])
+	scale := math.Float32frombits(binary.LittleEndian.Uint32(rest[off+32:]))
+	for _, v := range []uint64{n, nidx, nvals, nq} {
+		if v > maxWireElems {
+			return nil, fmt.Errorf("compress: implausible element count %d", v)
+		}
+	}
+	c := &Compressed{Codec: name, N: int(n), Scale: scale}
+	if nidx > 0 {
+		buf, err := readChunked(r, 4*nidx)
+		if err != nil {
+			return nil, fmt.Errorf("compress: decode idx: %w", err)
+		}
+		c.Idx = make([]int32, nidx)
+		for i := range c.Idx {
+			c.Idx[i] = int32(binary.LittleEndian.Uint32(buf[4*i:]))
+		}
+	}
+	if nvals > 0 {
+		buf, err := readChunked(r, 4*nvals)
+		if err != nil {
+			return nil, fmt.Errorf("compress: decode vals: %w", err)
+		}
+		c.Vals = make([]float32, nvals)
+		for i := range c.Vals {
+			c.Vals[i] = math.Float32frombits(binary.LittleEndian.Uint32(buf[4*i:]))
+		}
+	}
+	if nq > 0 {
+		q, err := readChunked(r, nq)
+		if err != nil {
+			return nil, fmt.Errorf("compress: decode quantized payload: %w", err)
+		}
+		c.Q = q
+	}
+	if err := c.Validate(); err != nil {
+		return nil, fmt.Errorf("compress: decoded gradient invalid: %w", err)
+	}
+	return c, nil
+}

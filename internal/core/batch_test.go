@@ -1,0 +1,182 @@
+package core
+
+import (
+	"testing"
+
+	"lowdiff/internal/checkpoint"
+	"lowdiff/internal/compress"
+	"lowdiff/internal/storage"
+	"lowdiff/internal/tensor"
+)
+
+func sparse(n int, idx []int32, vals []float32) *compress.Compressed {
+	return &compress.Compressed{Codec: "topk", N: n, Idx: idx, Vals: vals}
+}
+
+func TestBatchedWriterValidation(t *testing.T) {
+	if _, err := NewBatchedWriter(nil, 1, checkpoint.KindGradient); err == nil {
+		t.Fatal("want nil-store error")
+	}
+	if _, err := NewBatchedWriter(storage.NewMem(), 0, checkpoint.KindGradient); err == nil {
+		t.Fatal("want batch-size error")
+	}
+	if _, err := NewBatchedWriter(storage.NewMem(), 1, checkpoint.DiffKind(9)); err == nil {
+		t.Fatal("want kind error")
+	}
+	w, _ := NewBatchedWriter(storage.NewMem(), 1, checkpoint.KindGradient)
+	if err := w.Add(1, nil); err == nil {
+		t.Fatal("want nil-gradient error")
+	}
+}
+
+func TestBatchSizeOneWritesImmediately(t *testing.T) {
+	mem := storage.NewMem()
+	w, _ := NewBatchedWriter(mem, 1, checkpoint.KindGradient)
+	for i := int64(1); i <= 3; i++ {
+		if err := w.Add(i, sparse(8, []int32{0}, []float32{float32(i)})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	names, _ := mem.List("diff-")
+	if len(names) != 3 {
+		t.Fatalf("got %d writes, want 3", len(names))
+	}
+	if w.Writes.Value() != 3 || w.Pending() != 0 {
+		t.Fatalf("writes=%d pending=%d", w.Writes.Value(), w.Pending())
+	}
+}
+
+func TestBatchingAccumulatesAndFlushes(t *testing.T) {
+	mem := storage.NewMem()
+	w, _ := NewBatchedWriter(mem, 3, checkpoint.KindGradient)
+	grads := []*compress.Compressed{
+		sparse(8, []int32{0, 2}, []float32{1, 2}),
+		sparse(8, []int32{2, 5}, []float32{3, 4}),
+		sparse(8, []int32{7}, []float32{5}),
+	}
+	for i, g := range grads {
+		if err := w.Add(int64(i+1), g); err != nil {
+			t.Fatal(err)
+		}
+	}
+	names, _ := mem.List("diff-")
+	if len(names) != 1 {
+		t.Fatalf("got %d objects, want 1 batched write", len(names))
+	}
+	d, err := checkpoint.LoadDiff(mem, names[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.FirstIter != 1 || d.LastIter != 3 || d.Count != 3 {
+		t.Fatalf("batch header = %+v", d)
+	}
+	// Union-sum: {0:1, 2:5, 5:4, 7:5}.
+	dense := tensor.New(8)
+	if err := d.Payload.Decompress(dense); err != nil {
+		t.Fatal(err)
+	}
+	want := tensor.Vector{1, 0, 5, 0, 0, 4, 0, 5}
+	if !dense.Equal(want) {
+		t.Fatalf("batched payload = %v, want %v", dense, want)
+	}
+	if w.Batches.Value() != 1 {
+		t.Fatalf("Batches = %d", w.Batches.Value())
+	}
+}
+
+func TestCutFlushesPartialBatch(t *testing.T) {
+	mem := storage.NewMem()
+	w, _ := NewBatchedWriter(mem, 5, checkpoint.KindGradient)
+	_ = w.Add(1, sparse(4, []int32{0}, []float32{1}))
+	_ = w.Add(2, sparse(4, []int32{1}, []float32{2}))
+	if w.Pending() != 2 {
+		t.Fatalf("pending = %d", w.Pending())
+	}
+	if err := w.Cut(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Pending() != 0 {
+		t.Fatal("Cut left pending gradients")
+	}
+	names, _ := mem.List("diff-")
+	if len(names) != 1 || names[0] != checkpoint.DiffName(1, 2) {
+		t.Fatalf("objects = %v", names)
+	}
+	// Cut with nothing pending is a no-op.
+	if err := w.Cut(); err != nil {
+		t.Fatal(err)
+	}
+	names, _ = mem.List("diff-")
+	if len(names) != 1 {
+		t.Fatal("empty Cut wrote an object")
+	}
+}
+
+func TestNonContiguousRejected(t *testing.T) {
+	w, _ := NewBatchedWriter(storage.NewMem(), 4, checkpoint.KindGradient)
+	_ = w.Add(1, sparse(4, []int32{0}, []float32{1}))
+	if err := w.Add(3, sparse(4, []int32{0}, []float32{1})); err == nil {
+		t.Fatal("want non-contiguous error")
+	}
+}
+
+func TestContiguityResetsAfterFlush(t *testing.T) {
+	w, _ := NewBatchedWriter(storage.NewMem(), 2, checkpoint.KindGradient)
+	_ = w.Add(1, sparse(4, []int32{0}, []float32{1}))
+	_ = w.Add(2, sparse(4, []int32{0}, []float32{1}))
+	// After a flush the next batch may start at any iteration (e.g. after
+	// a full checkpoint cut).
+	if err := w.Add(10, sparse(4, []int32{0}, []float32{1})); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPendingBytesGauge(t *testing.T) {
+	w, _ := NewBatchedWriter(storage.NewMem(), 3, checkpoint.KindGradient)
+	g := sparse(100, []int32{0, 1, 2}, []float32{1, 2, 3}) // 24 bytes
+	_ = w.Add(1, g)
+	_ = w.Add(2, g.Clone())
+	if w.PendingBytes.Value() != 48 {
+		t.Fatalf("PendingBytes = %d, want 48", w.PendingBytes.Value())
+	}
+	_ = w.Add(3, g.Clone())
+	if w.PendingBytes.Value() != 0 {
+		t.Fatalf("PendingBytes after flush = %d", w.PendingBytes.Value())
+	}
+	if w.PendingBytes.High() != 72 {
+		t.Fatalf("PendingBytes high-water = %d, want 72", w.PendingBytes.High())
+	}
+}
+
+func TestBatchedWritesReduceWriteCount(t *testing.T) {
+	// The point of §4.2: b gradients -> 1 write.
+	for _, bs := range []int{1, 4, 10} {
+		mem := storage.NewStats(storage.NewMem())
+		w, _ := NewBatchedWriter(mem, bs, checkpoint.KindGradient)
+		const n = 40
+		for i := int64(1); i <= n; i++ {
+			if err := w.Add(i, sparse(64, []int32{int32(i % 64)}, []float32{1})); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if got, want := mem.Writes(), int64(n/bs); got != want {
+			t.Fatalf("batch=%d: %d writes, want %d", bs, got, want)
+		}
+	}
+}
+
+func TestStateDeltaKindPreserved(t *testing.T) {
+	mem := storage.NewMem()
+	w, _ := NewBatchedWriter(mem, 1, checkpoint.KindStateDelta)
+	if err := w.Add(1, sparse(4, []int32{0}, []float32{1})); err != nil {
+		t.Fatal(err)
+	}
+	names, _ := mem.List("diff-")
+	d, err := checkpoint.LoadDiff(mem, names[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Kind != checkpoint.KindStateDelta {
+		t.Fatalf("kind = %v", d.Kind)
+	}
+}

@@ -1,0 +1,186 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// SystemParams are the constants of the paper's wasted-time model (§4.3):
+// N GPUs, MTBF M, checkpoint write bandwidth W, full checkpoint size S,
+// job runtime T, full-checkpoint load time R_F, and per-differential merge
+// time R_D. Units are seconds and bytes; f is full checkpoints per second
+// and b the batching size expressed in the model's time units, exactly as
+// in Eq. (3)–(5).
+type SystemParams struct {
+	N  float64 // number of GPUs
+	M  float64 // mean time between failures (s)
+	W  float64 // checkpoint write bandwidth (B/s)
+	S  float64 // full checkpoint size (B)
+	T  float64 // total training runtime (s)
+	RF float64 // time to load a full checkpoint (s)
+	RD float64 // time to merge one differential checkpoint (s)
+}
+
+// Validate checks that every constant is positive.
+func (p SystemParams) Validate() error {
+	for _, c := range []struct {
+		name string
+		v    float64
+	}{
+		{"N", p.N}, {"M", p.M}, {"W", p.W}, {"S", p.S}, {"T", p.T}, {"RF", p.RF}, {"RD", p.RD},
+	} {
+		if c.v <= 0 || math.IsNaN(c.v) || math.IsInf(c.v, 0) {
+			return fmt.Errorf("core: system parameter %s = %v must be positive and finite", c.name, c.v)
+		}
+	}
+	return nil
+}
+
+// Config is a checkpointing configuration: full-checkpoint frequency f and
+// batching size b.
+type Config struct {
+	F float64 // full checkpoints per second
+	B float64 // batching size (time units of batched gradients)
+}
+
+// WastedTime evaluates the paper's Eq. (3):
+//
+//	T_wasted = N·T/M · ( b/2 + R_F + R_D/2·(1/(f·b) − 1) ) + N·T·S·f/W
+//
+// i.e. recovery overhead (half a batch of lost work, full-checkpoint load,
+// and merging the expected number of differentials) plus steady-state
+// checkpoint-write overhead.
+func (p SystemParams) WastedTime(c Config) (float64, error) {
+	if err := p.Validate(); err != nil {
+		return 0, err
+	}
+	if c.F <= 0 || c.B <= 0 {
+		return 0, fmt.Errorf("core: configuration (f=%v, b=%v) must be positive", c.F, c.B)
+	}
+	recovery := p.N * p.T / p.M * (c.B/2 + p.RF + p.RD/2*(1/(c.F*c.B)-1))
+	steady := p.N * p.T * p.S * c.F / p.W
+	return recovery + steady, nil
+}
+
+// Optimal returns the closed-form minimizer of Eq. (3), the paper's
+// Eq. (5):
+//
+//	f* = cbrt( R_D·W² / (4·S²·M²) ),  b* = cbrt( 2·S·R_D·M / W )
+func (p SystemParams) Optimal() (Config, error) {
+	if err := p.Validate(); err != nil {
+		return Config{}, err
+	}
+	f := math.Cbrt(p.RD * p.W * p.W / (4 * p.S * p.S * p.M * p.M))
+	b := math.Cbrt(2 * p.S * p.RD * p.M / p.W)
+	return Config{F: f, B: b}, nil
+}
+
+// AdaptiveTuner tracks runtime estimates of the failure rate and write
+// bandwidth (the quantities the paper's implementation observes) and steps
+// the live configuration toward the closed-form optimum, bounding per-update
+// movement so the system is not whipsawed by noisy measurements (§6.1,
+// "optimal configuration module").
+type AdaptiveTuner struct {
+	params   SystemParams
+	current  Config
+	alpha    float64 // EWMA weight for new observations
+	maxStep  float64 // max fractional move per Update (e.g. 0.25)
+	observed int
+}
+
+// NewAdaptiveTuner starts from the closed-form optimum of the initial
+// parameter estimates. alpha in (0,1] is the EWMA weight; maxStep > 0
+// bounds the per-update fractional movement of f and b.
+func NewAdaptiveTuner(p SystemParams, alpha, maxStep float64) (*AdaptiveTuner, error) {
+	if alpha <= 0 || alpha > 1 {
+		return nil, fmt.Errorf("core: tuner alpha %v out of (0,1]", alpha)
+	}
+	if maxStep <= 0 {
+		return nil, fmt.Errorf("core: tuner maxStep %v must be positive", maxStep)
+	}
+	opt, err := p.Optimal()
+	if err != nil {
+		return nil, err
+	}
+	return &AdaptiveTuner{params: p, current: opt, alpha: alpha, maxStep: maxStep}, nil
+}
+
+// Current returns the live configuration.
+func (t *AdaptiveTuner) Current() Config { return t.current }
+
+// Params returns the current parameter estimates.
+func (t *AdaptiveTuner) Params() SystemParams { return t.params }
+
+// Observe folds a runtime measurement into the parameter estimates:
+// observedMTBF (s; 0 to skip) and observedBandwidth (B/s; 0 to skip).
+func (t *AdaptiveTuner) Observe(observedMTBF, observedBandwidth float64) error {
+	if observedMTBF < 0 || observedBandwidth < 0 {
+		return fmt.Errorf("core: negative observation (M=%v, W=%v)", observedMTBF, observedBandwidth)
+	}
+	if observedMTBF > 0 {
+		t.params.M = (1-t.alpha)*t.params.M + t.alpha*observedMTBF
+	}
+	if observedBandwidth > 0 {
+		t.params.W = (1-t.alpha)*t.params.W + t.alpha*observedBandwidth
+	}
+	t.observed++
+	return nil
+}
+
+// Update steps the live configuration toward the current optimum, moving
+// each coordinate at most maxStep fractionally, and returns the new config.
+func (t *AdaptiveTuner) Update() (Config, error) {
+	opt, err := t.params.Optimal()
+	if err != nil {
+		return t.current, err
+	}
+	t.current.F = stepToward(t.current.F, opt.F, t.maxStep)
+	t.current.B = stepToward(t.current.B, opt.B, t.maxStep)
+	return t.current, nil
+}
+
+// stepToward moves cur toward target, limiting the fractional change.
+func stepToward(cur, target, maxStep float64) float64 {
+	if cur <= 0 {
+		return target
+	}
+	ratio := target / cur
+	hi := 1 + maxStep
+	lo := 1 / hi
+	switch {
+	case ratio > hi:
+		ratio = hi
+	case ratio < lo:
+		ratio = lo
+	}
+	return cur * ratio
+}
+
+// IterConfig is the integer configuration actually used by the engines:
+// a full checkpoint every FullEvery iterations and differential batches of
+// BatchSize gradients.
+type IterConfig struct {
+	FullEvery int
+	BatchSize int
+}
+
+// ToIterConfig converts a continuous Config to integers given the iteration
+// duration (s/iter): the full-checkpoint interval 1/f and the batch size b
+// are both expressed in iterations, clamped to at least 1.
+func (c Config) ToIterConfig(iterSeconds float64) (IterConfig, error) {
+	if iterSeconds <= 0 {
+		return IterConfig{}, fmt.Errorf("core: iteration duration %v must be positive", iterSeconds)
+	}
+	if c.F <= 0 || c.B <= 0 {
+		return IterConfig{}, fmt.Errorf("core: configuration (f=%v, b=%v) must be positive", c.F, c.B)
+	}
+	fullEvery := int(math.Round(1 / c.F / iterSeconds))
+	if fullEvery < 1 {
+		fullEvery = 1
+	}
+	batch := int(math.Round(c.B / iterSeconds))
+	if batch < 1 {
+		batch = 1
+	}
+	return IterConfig{FullEvery: fullEvery, BatchSize: batch}, nil
+}

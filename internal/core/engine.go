@@ -1,0 +1,521 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"lowdiff/internal/checkpoint"
+	"lowdiff/internal/comm"
+	"lowdiff/internal/compress"
+	"lowdiff/internal/grad"
+	"lowdiff/internal/metrics"
+	"lowdiff/internal/model"
+	"lowdiff/internal/optim"
+	"lowdiff/internal/storage"
+	"lowdiff/internal/tensor"
+	"lowdiff/internal/trace"
+)
+
+// Options configures a functional LowDiff training engine.
+type Options struct {
+	Spec    model.Spec
+	Workers int // data-parallel workers (>= 1)
+
+	// Optimizer selects "adam" (default) or "sgd"; LR 0 uses the
+	// optimizer's default learning rate.
+	Optimizer string
+	LR        float64
+	Momentum  float64 // sgd only
+
+	// Codec selects the gradient compressor: "topk" (default), "randk",
+	// or "identity". Rho is the sparsification ratio (default 0.01).
+	Codec string
+	Rho   float64
+	// ErrorFeedback wraps each worker's compressor with an error-feedback
+	// residual memory, the standard companion of aggressive sparsification
+	// (checkpointing is unaffected: the synchronized gradient already
+	// includes the fed-back residual).
+	ErrorFeedback bool
+
+	// Store receives checkpoints; nil disables checkpointing entirely.
+	Store storage.Store
+	// FullEvery takes a full checkpoint every so many iterations
+	// (default 50). Differentials are always captured per iteration —
+	// recovery needs every gradient — so a lower differential *write*
+	// frequency is expressed through BatchSize, which accumulates that
+	// many gradients per store write. DisableDiffs turns differential
+	// checkpoints off, leaving CheckFreq-style full-only checkpointing.
+	FullEvery    int
+	BatchSize    int // batched gradient write size (default 1)
+	DisableDiffs bool
+	QueueCap     int // reusing queue bound (default 16)
+	// RetainFulls keeps only the newest N full checkpoints, garbage
+	// collecting older fulls and the differentials they obsolete after
+	// each full persist (0 keeps everything).
+	RetainFulls int
+
+	// NaiveDC switches the differential source to Check-N-Run semantics:
+	// instead of reusing the synchronized gradient, the trainer computes
+	// the model-state delta after each update, compresses it (the paper's
+	// Challenge 1 computation cost, incurred for real here), and
+	// checkpoints it as a state delta. Recovery adds deltas to the
+	// parameters; the optimizer moments stay those of the full checkpoint.
+	NaiveDC bool
+
+	Seed  uint64
+	Noise float64 // per-worker gradient noise half-width (default 0.05)
+
+	// Trace, when non-nil, records an execution timeline (iterations,
+	// synchronization, queue hand-offs, checkpoint writes) exportable as a
+	// Chrome trace. Nil disables tracing with zero overhead.
+	Trace *trace.Recorder
+}
+
+func (o Options) withDefaults() Options {
+	if o.Optimizer == "" {
+		o.Optimizer = "adam"
+	}
+	if o.Codec == "" {
+		o.Codec = "topk"
+	}
+	if o.Rho == 0 {
+		o.Rho = 0.01
+	}
+	if o.FullEvery == 0 {
+		o.FullEvery = 50
+	}
+	if o.BatchSize == 0 {
+		o.BatchSize = 1
+	}
+	if o.QueueCap == 0 {
+		o.QueueCap = 16
+	}
+	if o.Noise == 0 {
+		o.Noise = 0.05
+	}
+	return o
+}
+
+// RunStats summarizes one Run call.
+type RunStats struct {
+	Iterations    int
+	DiffWrites    int64         // store writes of differential batches
+	DiffBytes     int64         // differential payload bytes persisted
+	FullWrites    int64         // full checkpoints persisted
+	SnapshotTime  time.Duration // trainer time spent snapshotting state
+	BlockedPuts   int64         // queue back-pressure events
+	QueueHighMark int64         // peak queue occupancy
+	FinalLoss     float64
+}
+
+// Engine is the functional LowDiff trainer: Workers lock-step data-parallel
+// ranks with Top-K gradient compression, a reusing queue to an asynchronous
+// checkpointer, batched differential writes, and periodic full checkpoints.
+type Engine struct {
+	opts   Options
+	oracle *grad.Oracle
+	group  *comm.Group
+
+	params []*model.Params   // per worker
+	opts2  []optim.Optimizer // per worker
+	comps  []compress.Compressor
+
+	writer *BatchedWriter
+	iter   int64 // completed iterations
+
+	// FullSnapshotTimer observes snapshot (state-clone) costs.
+	FullSnapshotTimer metrics.Timer
+}
+
+// NewEngine validates options and builds the engine.
+func NewEngine(opts Options) (*Engine, error) {
+	opts = opts.withDefaults()
+	if err := opts.Spec.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.Workers < 1 {
+		return nil, fmt.Errorf("core: %d workers; need at least 1", opts.Workers)
+	}
+	if opts.FullEvery < 1 {
+		return nil, fmt.Errorf("core: FullEvery %d must be >= 1", opts.FullEvery)
+	}
+	if opts.BatchSize < 1 {
+		return nil, fmt.Errorf("core: BatchSize %d must be >= 1", opts.BatchSize)
+	}
+	if opts.RetainFulls < 0 {
+		return nil, fmt.Errorf("core: RetainFulls %d must be >= 0", opts.RetainFulls)
+	}
+	if opts.FullEvery%opts.BatchSize != 0 {
+		return nil, fmt.Errorf("core: FullEvery (%d) must be a multiple of BatchSize (%d) so batches never straddle a full checkpoint",
+			opts.FullEvery, opts.BatchSize)
+	}
+	oracle, err := grad.New(opts.Spec, opts.Seed, opts.Noise)
+	if err != nil {
+		return nil, err
+	}
+	group, err := comm.NewGroup(opts.Workers)
+	if err != nil {
+		return nil, err
+	}
+	e := &Engine{opts: opts, oracle: oracle, group: group}
+	n := opts.Spec.NumParams()
+	for w := 0; w < opts.Workers; w++ {
+		p := model.NewParams(opts.Spec)
+		p.InitUniform(opts.Seed + 1) // same init on every worker
+		e.params = append(e.params, p)
+		var o optim.Optimizer
+		switch opts.Optimizer {
+		case "adam":
+			o = optim.NewAdam(n, optim.AdamConfig{LR: opts.LR})
+		case "sgd":
+			o = optim.NewSGD(n, optim.SGDConfig{LR: opts.LR, Momentum: opts.Momentum})
+		default:
+			return nil, fmt.Errorf("core: unknown optimizer %q", opts.Optimizer)
+		}
+		e.opts2 = append(e.opts2, o)
+		c, err := compress.New(opts.Codec, opts.Rho, opts.Seed+uint64(w))
+		if err != nil {
+			return nil, err
+		}
+		if opts.ErrorFeedback {
+			ef, err := compress.NewErrorFeedback(c, n)
+			if err != nil {
+				return nil, err
+			}
+			c = ef
+		}
+		e.comps = append(e.comps, c)
+	}
+	if opts.Codec == "randk" && opts.Workers > 1 {
+		return nil, fmt.Errorf("core: randk selects different indices per worker; use topk or identity for multi-worker runs")
+	}
+	if opts.Store != nil && !opts.DisableDiffs {
+		kind := checkpoint.KindGradient
+		if opts.NaiveDC {
+			kind = checkpoint.KindStateDelta
+		}
+		w, err := NewBatchedWriter(opts.Store, opts.BatchSize, kind)
+		if err != nil {
+			return nil, err
+		}
+		e.writer = w
+	}
+	return e, nil
+}
+
+// Iter returns the number of completed iterations.
+func (e *Engine) Iter() int64 { return e.iter }
+
+// Params returns worker 0's live parameter vector (do not mutate).
+func (e *Engine) Params() tensor.Vector { return e.params[0].Flat }
+
+// OptState snapshots worker 0's optimizer state.
+func (e *Engine) OptState() optim.State { return e.opts2[0].Snapshot() }
+
+// Loss returns the current objective value at worker 0's parameters.
+func (e *Engine) Loss() float64 {
+	l, err := e.oracle.Loss(e.params[0].Flat)
+	if err != nil {
+		return 0
+	}
+	return l
+}
+
+// Writer exposes the batched writer's counters (nil when diffs disabled).
+func (e *Engine) Writer() *BatchedWriter { return e.writer }
+
+// WorkersInSync reports whether all workers hold bit-identical parameters,
+// the invariant synchronized training must maintain.
+func (e *Engine) WorkersInSync() bool {
+	for w := 1; w < len(e.params); w++ {
+		if !e.params[w].Flat.Equal(e.params[0].Flat) {
+			return false
+		}
+	}
+	return true
+}
+
+// Run trains iters iterations with per-iteration differential checkpointing
+// and periodic full checkpoints, returning aggregate statistics. Run may be
+// called repeatedly; iteration numbering continues.
+func (e *Engine) Run(iters int) (RunStats, error) {
+	if iters <= 0 {
+		return RunStats{}, fmt.Errorf("core: Run(%d): iteration count must be positive", iters)
+	}
+	var stats RunStats
+	stats.Iterations = iters
+
+	checkpointing := e.opts.Store != nil
+	var queue *ReusingQueue
+	fullCh := make(chan *checkpoint.Full, 4)
+	errCh := make(chan error, e.opts.Workers+2)
+	var ckptWG sync.WaitGroup
+	var fullWrites metrics.Counter
+
+	if checkpointing {
+		if e.writer != nil {
+			q, err := NewReusingQueue(e.opts.QueueCap)
+			if err != nil {
+				return stats, err
+			}
+			queue = q
+			ckptWG.Add(1)
+			go func() { // checkpointing process: diff consumer (§4.1 Alg. 1)
+				defer ckptWG.Done()
+				broken := false
+				for {
+					it, err := queue.Get()
+					if err != nil {
+						return // closed and drained
+					}
+					if broken {
+						continue // drain so producers never block on a dead sink
+					}
+					writeDone := e.opts.Trace.Begin("checkpoint", "diff-add",
+						map[string]interface{}{"iter": it.Iter})
+					err = e.writer.Add(it.Iter, it.Grad)
+					writeDone()
+					if err != nil {
+						errCh <- err
+						broken = true
+						continue
+					}
+					// Cut batches at full-checkpoint boundaries so a batch
+					// never straddles the recovery base.
+					if it.Iter%int64(e.opts.FullEvery) == 0 {
+						if err := e.writer.Cut(); err != nil {
+							errCh <- err
+							broken = true
+						}
+					}
+				}
+			}()
+		}
+		ckptWG.Add(1)
+		go func() { // full-checkpoint persister (asynchronous, CheckFreq-style)
+			defer ckptWG.Done()
+			broken := false
+			for f := range fullCh {
+				if broken {
+					continue // drain so the trainer never blocks on a dead sink
+				}
+				persistDone := e.opts.Trace.Begin("persist", "full-checkpoint",
+					map[string]interface{}{"iter": f.Iter})
+				_, err := checkpoint.SaveFull(e.opts.Store, f)
+				persistDone()
+				if err != nil {
+					errCh <- err
+					broken = true
+					continue
+				}
+				fullWrites.Inc()
+				if e.opts.RetainFulls > 0 {
+					if err := e.gcOldCheckpoints(); err != nil {
+						errCh <- err
+						broken = true
+					}
+				}
+			}
+		}()
+	}
+
+	start := e.iter
+	// Persist the initial state once so the differential chain always has
+	// a base to recover from, even before the first periodic full
+	// checkpoint.
+	if checkpointing && start == 0 {
+		fullCh <- &checkpoint.Full{
+			Iter:   0,
+			Params: e.params[0].Flat.Clone(),
+			Opt:    e.opts2[0].Snapshot(),
+		}
+	}
+	var trainWG sync.WaitGroup
+	for w := 0; w < e.opts.Workers; w++ {
+		trainWG.Add(1)
+		go func(w int) { // training process (§4.1 Alg. 1)
+			defer trainWG.Done()
+			p := e.params[w]
+			o := e.opts2[w]
+			g := tensor.New(e.opts.Spec.NumParams())
+			// Naïve DC retains the previous model state to compute the
+			// differential from — the extra memory cost §3.4 points out.
+			var prev, delta tensor.Vector
+			if e.opts.NaiveDC && w == 0 && queue != nil {
+				prev = p.Flat.Clone()
+				delta = tensor.New(len(p.Flat))
+			}
+			for t := start + 1; t <= start+int64(iters); t++ {
+				var iterDone func()
+				if w == 0 {
+					iterDone = e.opts.Trace.Begin("train", "iteration",
+						map[string]interface{}{"iter": t})
+				}
+				// Backward pass.
+				if err := e.oracle.Local(p.Flat, w, int(t), g); err != nil {
+					errCh <- err
+					return
+				}
+				// Compress.
+				local, err := e.comps[w].Compress(g)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				// Synchronize.
+				var syncDone func()
+				if w == 0 {
+					syncDone = e.opts.Trace.Begin("train", "sync", nil)
+				}
+				synced, err := e.group.AllGatherSparse(w, local)
+				if w == 0 {
+					syncDone()
+				}
+				if err != nil {
+					errCh <- err
+					return
+				}
+				// Reuse: zero-copy hand-off to the checkpointing process
+				// (LowDiff path; Naïve DC checkpoints after the update).
+				if w == 0 && queue != nil && !e.opts.NaiveDC {
+					if err := queue.Put(Item{Iter: t, Layer: -1, Grad: synced}); err != nil {
+						errCh <- err
+						return
+					}
+				}
+				// Decompress + update (StepSparse fuses the two).
+				if err := applyCompressed(o, p.Flat, synced); err != nil {
+					errCh <- err
+					return
+				}
+				// Naïve DC: compute and compress the state delta — this is
+				// the compression stall of §3.1 Challenge 1, paid inline.
+				if prev != nil {
+					for i, x := range p.Flat {
+						delta[i] = x - prev[i]
+					}
+					copy(prev, p.Flat)
+					cd, err := e.comps[w].Compress(delta)
+					if err != nil {
+						errCh <- err
+						return
+					}
+					if err := queue.Put(Item{Iter: t, Layer: -1, Grad: cd}); err != nil {
+						errCh <- err
+						return
+					}
+				}
+				if w == 0 {
+					iterDone()
+				}
+				// Full checkpoint regularly: synchronous snapshot,
+				// asynchronous persist.
+				if w == 0 && checkpointing && t%int64(e.opts.FullEvery) == 0 {
+					snapStart := time.Now()
+					full := &checkpoint.Full{
+						Iter:   t,
+						Params: p.Flat.Clone(),
+						Opt:    o.Snapshot(),
+					}
+					e.FullSnapshotTimer.Observe(time.Since(snapStart))
+					fullCh <- full
+				}
+			}
+		}(w)
+	}
+	trainWG.Wait()
+	if queue != nil {
+		queue.Close()
+	}
+	close(fullCh)
+	ckptWG.Wait()
+
+	select {
+	case err := <-errCh:
+		return stats, err
+	default:
+	}
+
+	e.iter = start + int64(iters)
+	if e.writer != nil {
+		stats.DiffWrites = e.writer.Writes.Value()
+		stats.DiffBytes = e.writer.Bytes.Value()
+	}
+	if queue != nil {
+		stats.BlockedPuts = queue.BlockedPuts.Value()
+		stats.QueueHighMark = queue.Depth.High()
+	}
+	stats.FullWrites = fullWrites.Value()
+	stats.SnapshotTime = e.FullSnapshotTimer.Total()
+	stats.FinalLoss = e.Loss()
+	return stats, nil
+}
+
+// Flush persists any open differential batch (call after Run, e.g. before
+// recovery) and, when a retention policy is set, applies it once more now
+// that the asynchronous checkpointers are quiescent (during Run the diff
+// consumer can lag the full persister, so a stale differential may land
+// after the persister's GC pass).
+func (e *Engine) Flush() error {
+	if e.writer != nil {
+		if err := e.writer.Cut(); err != nil {
+			return err
+		}
+	}
+	if e.opts.Store != nil && e.opts.RetainFulls > 0 {
+		return e.gcOldCheckpoints()
+	}
+	return nil
+}
+
+// gcOldCheckpoints enforces the RetainFulls retention policy: keep the
+// newest RetainFulls full checkpoints, delete older fulls and every
+// differential fully covered by the oldest retained full.
+func (e *Engine) gcOldCheckpoints() error {
+	m, err := checkpoint.Scan(e.opts.Store)
+	if err != nil {
+		return err
+	}
+	if len(m.Fulls) == 0 {
+		return nil
+	}
+	keepIdx := len(m.Fulls) - e.opts.RetainFulls
+	if keepIdx < 0 {
+		keepIdx = 0
+	}
+	// Everything at or before the oldest retained full is dead — including
+	// differentials that landed after a previous GC pass (the asynchronous
+	// diff consumer can lag the full persister).
+	horizon := m.Fulls[keepIdx].Iter
+	for _, f := range m.Fulls[:keepIdx] {
+		if err := e.opts.Store.Delete(f.Name); err != nil && !storage.IsNotExist(err) {
+			return err
+		}
+	}
+	for _, d := range m.Diffs {
+		if d.LastIter <= horizon {
+			if err := e.opts.Store.Delete(d.Name); err != nil && !storage.IsNotExist(err) {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// applyCompressed applies a synchronized compressed gradient to params via
+// the optimizer: sparse payloads use the fused sparse step; dense payloads
+// take a dense step directly.
+func applyCompressed(o optim.Optimizer, params tensor.Vector, c *compress.Compressed) error {
+	if c.Idx != nil {
+		return o.StepSparse(params, c.Idx, c.Vals)
+	}
+	if len(c.Q) > 0 {
+		dense := tensor.New(c.N)
+		if err := c.Decompress(dense); err != nil {
+			return err
+		}
+		return o.Step(params, dense)
+	}
+	return o.Step(params, c.Vals)
+}

@@ -1,0 +1,452 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"lowdiff/internal/checkpoint"
+	"lowdiff/internal/comm"
+	"lowdiff/internal/compress"
+	"lowdiff/internal/grad"
+	"lowdiff/internal/metrics"
+	"lowdiff/internal/model"
+	"lowdiff/internal/optim"
+	"lowdiff/internal/storage"
+	"lowdiff/internal/tensor"
+)
+
+// PlusOptions configures the LowDiff+ engine (paper §5): gradient reuse
+// without compression, layer-wise snapshotting, a CPU-resident model
+// replica, and asynchronous persistence.
+type PlusOptions struct {
+	Spec    model.Spec
+	Workers int
+
+	Optimizer string // "adam" (default) or "sgd"
+	LR        float64
+	Momentum  float64
+
+	// Store receives persisted full checkpoints from the CPU replica; nil
+	// keeps checkpoints in memory only.
+	Store storage.Store
+	// PersistEvery persists the CPU replica every so many iterations
+	// (default 10), following CheckFreq-style overlap.
+	PersistEvery int
+	QueueCap     int // layer-item queue bound (default: 4x layer count)
+	// SnapshotWorkers sizes the offload thread pool P_s (Alg. 2): layer
+	// gradients are copied to host memory by pool workers concurrently
+	// with the remaining layers' compute and synchronization; the trainer
+	// waits on the pool (H_s) before reusing its gradient buffer.
+	// Default 4.
+	SnapshotWorkers int
+
+	Seed  uint64
+	Noise float64 // default 0.05
+}
+
+func (o PlusOptions) withDefaults(layers int) PlusOptions {
+	if o.Optimizer == "" {
+		o.Optimizer = "adam"
+	}
+	if o.PersistEvery == 0 {
+		o.PersistEvery = 10
+	}
+	if o.QueueCap == 0 {
+		o.QueueCap = 4 * layers
+		if o.QueueCap < 8 {
+			o.QueueCap = 8
+		}
+	}
+	if o.SnapshotWorkers == 0 {
+		o.SnapshotWorkers = 4
+	}
+	if o.Noise == 0 {
+		o.Noise = 0.05
+	}
+	return o
+}
+
+// PlusStats summarizes one PlusEngine.Run call.
+type PlusStats struct {
+	Iterations     int
+	LayerSnapshots int64         // layer gradients offloaded to CPU
+	SnapshotBytes  int64         // bytes copied GPU->CPU
+	ReplicaSteps   int64         // CPU-replica optimizer steps
+	Persists       int64         // full checkpoints written from the replica
+	SnapshotTime   time.Duration // time spent in layer offload copies
+	FinalLoss      float64
+}
+
+// PlusEngine is the functional LowDiff+ trainer. Workers train with dense
+// (uncompressed) ring-all-reduce gradient synchronization; each layer's
+// synchronized gradient is snapshotted to "CPU memory" as soon as it is
+// produced (reverse layer order, §5.1) and streamed through the reusing
+// queue to the checkpointing process, which maintains an always-up-to-date
+// CPU-resident replica of the model state (§5.2) and persists it
+// asynchronously. Software failures recover from the in-memory replica;
+// hardware failures reload the last persisted checkpoint.
+type PlusEngine struct {
+	opts   PlusOptions
+	oracle *grad.Oracle
+	group  *comm.Group
+
+	params []*model.Params
+	opts2  []optim.Optimizer
+
+	// CPU-resident replica (checkpointing process state).
+	mu           sync.Mutex
+	replica      *model.Params
+	replicaOpt   optim.Optimizer
+	replicaIter  int64
+	persistIter  int64 // iteration of the last persisted checkpoint
+	iter         int64
+	snapshotTime metrics.Timer
+}
+
+// NewPlusEngine validates options and builds the engine. The CPU replica is
+// initialized as a deep copy of the (identical) worker state, mirroring the
+// paper's copy.deepcopy() at spawn time.
+func NewPlusEngine(opts PlusOptions) (*PlusEngine, error) {
+	if err := opts.Spec.Validate(); err != nil {
+		return nil, err
+	}
+	opts = opts.withDefaults(len(opts.Spec.Layers))
+	if opts.Workers < 1 {
+		return nil, fmt.Errorf("core: %d workers; need at least 1", opts.Workers)
+	}
+	if opts.PersistEvery < 1 {
+		return nil, fmt.Errorf("core: PersistEvery %d must be >= 1", opts.PersistEvery)
+	}
+	if opts.SnapshotWorkers < 1 {
+		return nil, fmt.Errorf("core: SnapshotWorkers %d must be >= 1", opts.SnapshotWorkers)
+	}
+	oracle, err := grad.New(opts.Spec, opts.Seed, opts.Noise)
+	if err != nil {
+		return nil, err
+	}
+	group, err := comm.NewGroup(opts.Workers)
+	if err != nil {
+		return nil, err
+	}
+	e := &PlusEngine{opts: opts, oracle: oracle, group: group}
+	n := opts.Spec.NumParams()
+	mkOpt := func() (optim.Optimizer, error) {
+		switch opts.Optimizer {
+		case "adam":
+			return optim.NewAdam(n, optim.AdamConfig{LR: opts.LR}), nil
+		case "sgd":
+			return optim.NewSGD(n, optim.SGDConfig{LR: opts.LR, Momentum: opts.Momentum}), nil
+		default:
+			return nil, fmt.Errorf("core: unknown optimizer %q", opts.Optimizer)
+		}
+	}
+	for w := 0; w < opts.Workers; w++ {
+		p := model.NewParams(opts.Spec)
+		p.InitUniform(opts.Seed + 1)
+		e.params = append(e.params, p)
+		o, err := mkOpt()
+		if err != nil {
+			return nil, err
+		}
+		e.opts2 = append(e.opts2, o)
+	}
+	// CPU replica: deep copy of the initial state.
+	e.replica = e.params[0].Clone()
+	ro, err := mkOpt()
+	if err != nil {
+		return nil, err
+	}
+	e.replicaOpt = ro
+	return e, nil
+}
+
+// Iter returns the number of completed iterations.
+func (e *PlusEngine) Iter() int64 { return e.iter }
+
+// Params returns worker 0's live parameters (do not mutate).
+func (e *PlusEngine) Params() tensor.Vector { return e.params[0].Flat }
+
+// Loss returns the objective at worker 0's parameters.
+func (e *PlusEngine) Loss() float64 {
+	l, err := e.oracle.Loss(e.params[0].Flat)
+	if err != nil {
+		return 0
+	}
+	return l
+}
+
+// WorkersInSync reports whether all workers hold bit-identical parameters.
+func (e *PlusEngine) WorkersInSync() bool {
+	for w := 1; w < len(e.params); w++ {
+		if !e.params[w].Flat.Equal(e.params[0].Flat) {
+			return false
+		}
+	}
+	return true
+}
+
+// ReplicaIter returns the iteration the CPU replica reflects.
+func (e *PlusEngine) ReplicaIter() int64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.replicaIter
+}
+
+// PersistedIter returns the iteration of the last persisted checkpoint.
+func (e *PlusEngine) PersistedIter() int64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.persistIter
+}
+
+// RecoverInMemory returns the CPU-resident replica state: the
+// software-failure recovery path (§5.3), available without touching
+// storage.
+func (e *PlusEngine) RecoverInMemory() *State {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return &State{
+		Iter:   e.replicaIter,
+		Params: e.replica.Flat.Clone(),
+		Opt:    e.replicaOpt.Snapshot(),
+	}
+}
+
+// State is a recovered or snapshotted training state (mirrors
+// recovery.State without importing it, to keep core free of a recovery
+// dependency).
+type State struct {
+	Iter   int64
+	Params tensor.Vector
+	Opt    optim.State
+}
+
+// Run trains iters iterations with layer-wise gradient reuse, per-iteration
+// in-memory checkpointing, and asynchronous persistence every PersistEvery
+// iterations.
+func (e *PlusEngine) Run(iters int) (PlusStats, error) {
+	if iters <= 0 {
+		return PlusStats{}, fmt.Errorf("core: Run(%d): iteration count must be positive", iters)
+	}
+	var stats PlusStats
+	stats.Iterations = iters
+
+	queue, err := NewReusingQueue(e.opts.QueueCap)
+	if err != nil {
+		return stats, err
+	}
+	persistCh := make(chan *checkpoint.Full, 2)
+	errCh := make(chan error, e.opts.Workers+2)
+	var assembleWG, persistWG sync.WaitGroup
+	var layerSnapshots, snapshotBytes, replicaSteps, persists metrics.Counter
+
+	spec := e.opts.Spec
+	nLayers := len(spec.Layers)
+	offsets := spec.LayerOffsets()
+
+	// Checkpointing process: assemble layer gradients, keep the CPU
+	// replica in lock-step, request persists.
+	assembleWG.Add(1)
+	go func() {
+		defer assembleWG.Done()
+		assembled := tensor.New(spec.NumParams())
+		seen := 0
+		curIter := int64(0)
+		for {
+			it, err := queue.Get()
+			if err != nil {
+				return
+			}
+			if it.Layer < 0 || it.Layer >= nLayers {
+				errCh <- fmt.Errorf("core: plus checkpointer got layer %d", it.Layer)
+				return
+			}
+			if seen == 0 {
+				curIter = it.Iter
+			} else if it.Iter != curIter {
+				errCh <- fmt.Errorf("core: plus checkpointer got iter %d while assembling %d", it.Iter, curIter)
+				return
+			}
+			// Snapshot: the gradient already lives in host memory here
+			// (the copy happened at enqueue, the offload thread's work);
+			// scatter it into the assembly buffer.
+			off := offsets[it.Layer]
+			view := assembled[off : off+spec.Layers[it.Layer].Size]
+			if err := it.Grad.Decompress(view); err != nil {
+				errCh <- err
+				return
+			}
+			layerSnapshots.Inc()
+			snapshotBytes.Add(it.Grad.Bytes())
+			seen++
+			if seen < nLayers {
+				continue
+			}
+			// Full gradient assembled: update the CPU replica (§5.2).
+			seen = 0
+			e.mu.Lock()
+			if err := e.replicaOpt.Step(e.replica.Flat, assembled); err != nil {
+				e.mu.Unlock()
+				errCh <- err
+				return
+			}
+			e.replicaIter = curIter
+			replicaSteps.Inc()
+			var toPersist *checkpoint.Full
+			if e.opts.Store != nil && curIter%int64(e.opts.PersistEvery) == 0 {
+				toPersist = &checkpoint.Full{
+					Iter:   curIter,
+					Params: e.replica.Flat.Clone(),
+					Opt:    e.replicaOpt.Snapshot(),
+				}
+			}
+			e.mu.Unlock()
+			if toPersist != nil {
+				persistCh <- toPersist
+			}
+		}
+	}()
+
+	// Asynchronous persister.
+	persistWG.Add(1)
+	go func() {
+		defer persistWG.Done()
+		for f := range persistCh {
+			if _, err := checkpoint.SaveFull(e.opts.Store, f); err != nil {
+				errCh <- err
+				return
+			}
+			persists.Inc()
+			e.mu.Lock()
+			if f.Iter > e.persistIter {
+				e.persistIter = f.Iter
+			}
+			e.mu.Unlock()
+		}
+	}()
+
+	start := e.iter
+	// Persist the initial replica once so hardware-failure recovery has a
+	// base before the first periodic persist.
+	if e.opts.Store != nil && start == 0 {
+		persistCh <- &checkpoint.Full{
+			Iter:   0,
+			Params: e.replica.Flat.Clone(),
+			Opt:    e.replicaOpt.Snapshot(),
+		}
+	}
+
+	// Offload thread pool P_s (Alg. 2): copies synchronized layer
+	// gradients from the trainer's buffer to host memory and streams them
+	// into the reusing queue. The source slice stays valid until the
+	// trainer's next backward pass, and the trainer waits on hs before
+	// starting it.
+	type snapJob struct {
+		iter  int64
+		layer int
+		src   tensor.Vector
+		hs    *sync.WaitGroup
+	}
+	snapCh := make(chan snapJob, e.opts.SnapshotWorkers*2)
+	var poolWG sync.WaitGroup
+	for i := 0; i < e.opts.SnapshotWorkers; i++ {
+		poolWG.Add(1)
+		go func() {
+			defer poolWG.Done()
+			for job := range snapCh {
+				host := &compress.Compressed{
+					Codec: "identity",
+					N:     len(job.src),
+					Vals:  append([]float32(nil), job.src...),
+				}
+				if err := queue.Put(Item{Iter: job.iter, Layer: job.layer, Grad: host}); err != nil {
+					errCh <- err
+				}
+				job.hs.Done()
+			}
+		}()
+	}
+
+	var trainWG sync.WaitGroup
+	for w := 0; w < e.opts.Workers; w++ {
+		trainWG.Add(1)
+		go func(w int) {
+			defer trainWG.Done()
+			p := e.params[w]
+			o := e.opts2[w]
+			g := tensor.New(spec.NumParams())
+			layerBuf := tensor.New(maxLayerSize(spec))
+			for t := start + 1; t <= start+int64(iters); t++ {
+				// Backward pass, layer by layer in reverse order; each
+				// layer synchronizes as soon as its gradient exists
+				// (Alg. 2 sync threads) and is snapshotted for reuse.
+				var hs sync.WaitGroup // H_s: outstanding snapshot handles
+				for _, l := range e.oracle.BackwardOrder() {
+					size := spec.Layers[l].Size
+					lg := layerBuf[:size]
+					if err := e.oracle.LayerGrad(p.Flat, w, int(t), l, lg); err != nil {
+						errCh <- err
+						return
+					}
+					if err := e.group.RingAllReduceSum(w, lg); err != nil {
+						errCh <- err
+						return
+					}
+					lg.Scale(1 / float32(e.opts.Workers))
+					view := g[offsets[l] : offsets[l]+size]
+					copy(view, lg)
+					if w == 0 {
+						// Hand the layer to the offload pool; the copy to
+						// host memory overlaps the remaining layers'
+						// compute and synchronization.
+						hs.Add(1)
+						snapCh <- snapJob{iter: t, layer: l, src: view, hs: &hs}
+					}
+				}
+				// H_s.wait(): the gradient buffer may not be reused until
+				// every layer snapshot has been taken.
+				if w == 0 {
+					waitStart := time.Now()
+					hs.Wait()
+					e.snapshotTime.Observe(time.Since(waitStart))
+				}
+				if err := o.Step(p.Flat, g); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}(w)
+	}
+	trainWG.Wait()
+	close(snapCh)
+	poolWG.Wait() // all snapshots issued before the queue closes
+	queue.Close()
+	assembleWG.Wait() // the assembler drains the queue, then exits
+	close(persistCh)
+	persistWG.Wait() // the persister drains outstanding requests
+
+	select {
+	case err := <-errCh:
+		return stats, err
+	default:
+	}
+	e.iter = start + int64(iters)
+	stats.LayerSnapshots = layerSnapshots.Value()
+	stats.SnapshotBytes = snapshotBytes.Value()
+	stats.ReplicaSteps = replicaSteps.Value()
+	stats.Persists = persists.Value()
+	stats.SnapshotTime = e.snapshotTime.Total()
+	stats.FinalLoss = e.Loss()
+	return stats, nil
+}
+
+func maxLayerSize(spec model.Spec) int {
+	m := 0
+	for _, l := range spec.Layers {
+		if l.Size > m {
+			m = l.Size
+		}
+	}
+	return m
+}

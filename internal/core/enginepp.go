@@ -1,0 +1,437 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"lowdiff/internal/checkpoint"
+	"lowdiff/internal/comm"
+	"lowdiff/internal/compress"
+	"lowdiff/internal/grad"
+	"lowdiff/internal/model"
+	"lowdiff/internal/optim"
+	"lowdiff/internal/storage"
+	"lowdiff/internal/tensor"
+)
+
+// PPOptions configures the pipeline-parallel LowDiff engine: the model's
+// layers are partitioned into contiguous stages, each owned by one worker
+// goroutine that computes, compresses, and applies gradients for its slice
+// only. LowDiff's reuse works unchanged (the paper's VGG16-PP result and
+// stated future work): each stage's compressed slice gradient streams into
+// the reusing queue, a coordinator merges the disjoint stage parts into
+// one differential record per iteration, and the standard recovery replay
+// reproduces the per-stage updates bit-exactly.
+type PPOptions struct {
+	Spec   model.Spec
+	Stages int // pipeline stages (>= 1, <= layer count)
+
+	Optimizer string // "adam" (default) or "sgd"
+	LR        float64
+	Momentum  float64
+
+	Codec string  // "topk" (default) or "identity"
+	Rho   float64 // default 0.01
+
+	Store     storage.Store
+	FullEvery int // default 50
+	BatchSize int // default 1
+	QueueCap  int // default 16
+
+	Seed  uint64
+	Noise float64 // default 0.05
+}
+
+func (o PPOptions) withDefaults() PPOptions {
+	if o.Optimizer == "" {
+		o.Optimizer = "adam"
+	}
+	if o.Codec == "" {
+		o.Codec = "topk"
+	}
+	if o.Rho == 0 {
+		o.Rho = 0.01
+	}
+	if o.FullEvery == 0 {
+		o.FullEvery = 50
+	}
+	if o.BatchSize == 0 {
+		o.BatchSize = 1
+	}
+	if o.QueueCap == 0 {
+		o.QueueCap = 16
+	}
+	if o.Noise == 0 {
+		o.Noise = 0.05
+	}
+	return o
+}
+
+// StageRange is one stage's contiguous parameter interval.
+type StageRange struct {
+	FirstLayer, LastLayer int // inclusive layer indices
+	Offset, Size          int // flat parameter interval
+}
+
+// PartitionStages splits the spec's layers into n contiguous groups,
+// greedily balanced by parameter count.
+func PartitionStages(spec model.Spec, n int) ([]StageRange, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if n < 1 || n > len(spec.Layers) {
+		return nil, fmt.Errorf("core: %d stages for %d layers", n, len(spec.Layers))
+	}
+	total := spec.NumParams()
+	perStage := float64(total) / float64(n)
+	offsets := spec.LayerOffsets()
+	out := make([]StageRange, 0, n)
+	startLayer := 0
+	acc := 0
+	for l, layer := range spec.Layers {
+		acc += layer.Size
+		remainingLayers := len(spec.Layers) - l - 1
+		remainingStages := n - len(out) - 1
+		// Close the stage when it reached its share, but always leave at
+		// least one layer per remaining stage.
+		if (float64(acc) >= perStage && remainingLayers >= remainingStages) || remainingLayers < remainingStages+1 {
+			if len(out) == n-1 {
+				continue // last stage takes everything left
+			}
+			out = append(out, StageRange{
+				FirstLayer: startLayer, LastLayer: l,
+				Offset: offsets[startLayer], Size: acc,
+			})
+			startLayer = l + 1
+			acc = 0
+		}
+	}
+	out = append(out, StageRange{
+		FirstLayer: startLayer, LastLayer: len(spec.Layers) - 1,
+		Offset: offsets[startLayer], Size: total - offsets[startLayer],
+	})
+	if len(out) != n {
+		return nil, fmt.Errorf("core: partition produced %d stages, want %d", len(out), n)
+	}
+	return out, nil
+}
+
+// PPEngine is the functional pipeline-parallel LowDiff trainer.
+type PPEngine struct {
+	opts   PPOptions
+	oracle *grad.Oracle
+	group  *comm.Group
+	stages []StageRange
+
+	params *model.Params     // the logical global model
+	opts2  []optim.Optimizer // per-stage optimizers over stage slices
+	comps  []compress.Compressor
+
+	writer *BatchedWriter
+	iter   int64
+}
+
+// PPStats summarizes one PPEngine.Run call.
+type PPStats struct {
+	Iterations int
+	DiffWrites int64
+	FullWrites int64
+	FinalLoss  float64
+}
+
+// NewPPEngine validates options and builds the engine.
+func NewPPEngine(opts PPOptions) (*PPEngine, error) {
+	opts = opts.withDefaults()
+	stages, err := PartitionStages(opts.Spec, opts.Stages)
+	if err != nil {
+		return nil, err
+	}
+	if opts.FullEvery < 1 || opts.BatchSize < 1 {
+		return nil, fmt.Errorf("core: pp intervals must be >= 1")
+	}
+	if opts.FullEvery%opts.BatchSize != 0 {
+		return nil, fmt.Errorf("core: FullEvery (%d) must be a multiple of BatchSize (%d)", opts.FullEvery, opts.BatchSize)
+	}
+	switch opts.Codec {
+	case "topk", "identity":
+	default:
+		return nil, fmt.Errorf("core: pp codec %q not supported (topk or identity)", opts.Codec)
+	}
+	oracle, err := grad.New(opts.Spec, opts.Seed, opts.Noise)
+	if err != nil {
+		return nil, err
+	}
+	group, err := comm.NewGroup(opts.Stages)
+	if err != nil {
+		return nil, err
+	}
+	e := &PPEngine{opts: opts, oracle: oracle, group: group, stages: stages}
+	e.params = model.NewParams(opts.Spec)
+	e.params.InitUniform(opts.Seed + 1)
+	for s, st := range stages {
+		var o optim.Optimizer
+		switch opts.Optimizer {
+		case "adam":
+			o = optim.NewAdam(st.Size, optim.AdamConfig{LR: opts.LR})
+		case "sgd":
+			o = optim.NewSGD(st.Size, optim.SGDConfig{LR: opts.LR, Momentum: opts.Momentum})
+		default:
+			return nil, fmt.Errorf("core: unknown optimizer %q", opts.Optimizer)
+		}
+		e.opts2 = append(e.opts2, o)
+		c, err := compress.New(opts.Codec, opts.Rho, opts.Seed+uint64(s))
+		if err != nil {
+			return nil, err
+		}
+		e.comps = append(e.comps, c)
+	}
+	if opts.Store != nil {
+		w, err := NewBatchedWriter(opts.Store, opts.BatchSize, checkpoint.KindGradient)
+		if err != nil {
+			return nil, err
+		}
+		e.writer = w
+	}
+	return e, nil
+}
+
+// Iter returns the number of completed iterations.
+func (e *PPEngine) Iter() int64 { return e.iter }
+
+// Params returns the logical global parameter vector (do not mutate).
+func (e *PPEngine) Params() tensor.Vector { return e.params.Flat }
+
+// Stages returns the layer partition.
+func (e *PPEngine) Stages() []StageRange { return e.stages }
+
+// Loss returns the objective at the current parameters.
+func (e *PPEngine) Loss() float64 {
+	l, err := e.oracle.Loss(e.params.Flat)
+	if err != nil {
+		return 0
+	}
+	return l
+}
+
+// GlobalOptState assembles the per-stage optimizer states into the global
+// state a full checkpoint stores: slice slots concatenated in stage order.
+// It requires all stages to share the optimizer type and step count.
+func (e *PPEngine) GlobalOptState() (optim.State, error) {
+	return assembleOptState(e.opts2, e.stages, e.opts.Spec.NumParams())
+}
+
+func assembleOptState(opts2 []optim.Optimizer, stages []StageRange, total int) (optim.State, error) {
+	first := opts2[0].Snapshot()
+	global := optim.State{
+		Name:    first.Name,
+		Step:    first.Step,
+		Scalars: first.Scalars,
+		Slots:   map[string][]float32{},
+	}
+	slotNames := make([]string, 0, len(first.Slots))
+	for k := range first.Slots {
+		slotNames = append(slotNames, k)
+	}
+	sort.Strings(slotNames)
+	for _, k := range slotNames {
+		global.Slots[k] = make([]float32, total)
+	}
+	for s, o := range opts2 {
+		st := o.Snapshot()
+		if st.Name != first.Name || st.Step != first.Step {
+			return optim.State{}, fmt.Errorf("core: stage %d optimizer state mismatch", s)
+		}
+		for _, k := range slotNames {
+			slice, ok := st.Slots[k]
+			if !ok || len(slice) != stages[s].Size {
+				return optim.State{}, fmt.Errorf("core: stage %d slot %q shape mismatch", s, k)
+			}
+			copy(global.Slots[k][stages[s].Offset:stages[s].Offset+stages[s].Size], slice)
+		}
+	}
+	return global, nil
+}
+
+// Run trains iters iterations with per-iteration differential checkpoints
+// assembled across stages.
+func (e *PPEngine) Run(iters int) (PPStats, error) {
+	if iters <= 0 {
+		return PPStats{}, fmt.Errorf("core: Run(%d): iteration count must be positive", iters)
+	}
+	var stats PPStats
+	stats.Iterations = iters
+	checkpointing := e.opts.Store != nil
+
+	// Stage parts flow to the coordinator, which merges the disjoint
+	// slices into one differential per iteration and snapshots fulls.
+	type part struct {
+		iter int64
+		c    *compress.Compressed
+	}
+	partCh := make(chan part, e.opts.Stages*2)
+	errCh := make(chan error, e.opts.Stages+2)
+	var coordWG sync.WaitGroup
+	var diffWrites, fullWrites int64
+
+	if checkpointing {
+		coordWG.Add(1)
+		go func() {
+			defer coordWG.Done()
+			pending := map[int64][]*compress.Compressed{}
+			broken := false
+			for p := range partCh {
+				if broken {
+					continue
+				}
+				pending[p.iter] = append(pending[p.iter], p.c)
+				if len(pending[p.iter]) < e.opts.Stages {
+					continue
+				}
+				merged, err := compress.Merge(pending[p.iter]...)
+				delete(pending, p.iter)
+				if err != nil {
+					errCh <- err
+					broken = true
+					continue
+				}
+				if err := e.writer.Add(p.iter, merged); err != nil {
+					errCh <- err
+					broken = true
+					continue
+				}
+				if p.iter%int64(e.opts.FullEvery) == 0 {
+					if err := e.writer.Cut(); err != nil {
+						errCh <- err
+						broken = true
+					}
+				}
+			}
+		}()
+	}
+
+	start := e.iter
+	// Persist the initial global state once.
+	if checkpointing && start == 0 {
+		st, err := e.GlobalOptState()
+		if err != nil {
+			return stats, err
+		}
+		full := &checkpoint.Full{Iter: 0, Params: e.params.Flat.Clone(), Opt: st}
+		if _, err := checkpoint.SaveFull(e.opts.Store, full); err != nil {
+			return stats, err
+		}
+		fullWrites++
+	}
+
+	var trainWG sync.WaitGroup
+	for s := 0; s < e.opts.Stages; s++ {
+		trainWG.Add(1)
+		go func(s int) {
+			defer trainWG.Done()
+			st := e.stages[s]
+			slice := e.params.Flat[st.Offset : st.Offset+st.Size]
+			g := tensor.New(st.Size)
+			offsets := e.opts.Spec.LayerOffsets()
+			for t := start + 1; t <= start+int64(iters); t++ {
+				// Backward for this stage's layers (reverse order).
+				for l := st.LastLayer; l >= st.FirstLayer; l-- {
+					lo := offsets[l] - st.Offset
+					sz := e.opts.Spec.Layers[l].Size
+					if err := e.oracle.LayerGrad(e.params.Flat, 0, int(t), l, g[lo:lo+sz]); err != nil {
+						errCh <- err
+						return
+					}
+				}
+				// Compress the stage slice; indices are slice-local and
+				// shifted to global coordinates for the assembled diff.
+				local, err := e.comps[s].Compress(g)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				if checkpointing {
+					globalPart := shiftToGlobal(local, st.Offset, e.opts.Spec.NumParams())
+					partCh <- part{iter: t, c: globalPart}
+				}
+				// Update this stage's parameters only.
+				if err := applyCompressed(e.opts2[s], slice, local); err != nil {
+					errCh <- err
+					return
+				}
+				// Pipeline flush: stages align at iteration boundaries.
+				if err := e.group.Barrier(s); err != nil {
+					errCh <- err
+					return
+				}
+				// Stage 0 coordinates the periodic full checkpoint, taken
+				// at the aligned boundary.
+				if s == 0 && checkpointing && t%int64(e.opts.FullEvery) == 0 {
+					gst, err := e.GlobalOptState()
+					if err != nil {
+						errCh <- err
+						return
+					}
+					full := &checkpoint.Full{Iter: t, Params: e.params.Flat.Clone(), Opt: gst}
+					if _, err := checkpoint.SaveFull(e.opts.Store, full); err != nil {
+						errCh <- err
+						return
+					}
+					fullWrites++
+				}
+				// Second barrier: no stage starts the next iteration while
+				// the full snapshot is being taken.
+				if err := e.group.Barrier(s); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}(s)
+	}
+	trainWG.Wait()
+	close(partCh)
+	coordWG.Wait()
+
+	select {
+	case err := <-errCh:
+		return stats, err
+	default:
+	}
+	e.iter = start + int64(iters)
+	if e.writer != nil {
+		diffWrites = e.writer.Writes.Value()
+	}
+	stats.DiffWrites = diffWrites
+	stats.FullWrites = fullWrites
+	stats.FinalLoss = e.Loss()
+	return stats, nil
+}
+
+// Flush persists any open differential batch.
+func (e *PPEngine) Flush() error {
+	if e.writer == nil {
+		return nil
+	}
+	return e.writer.Cut()
+}
+
+// shiftToGlobal rebases a slice-local compressed gradient into global
+// coordinates (dense payloads become sparse over the slice interval).
+func shiftToGlobal(c *compress.Compressed, offset, total int) *compress.Compressed {
+	out := &compress.Compressed{Codec: c.Codec, N: total}
+	if c.Idx != nil {
+		out.Idx = make([]int32, len(c.Idx))
+		for i, j := range c.Idx {
+			out.Idx[i] = j + int32(offset)
+		}
+		out.Vals = append([]float32(nil), c.Vals...)
+		return out
+	}
+	// Dense slice payload: indices are the whole interval.
+	out.Idx = make([]int32, len(c.Vals))
+	for i := range c.Vals {
+		out.Idx[i] = int32(offset + i)
+	}
+	out.Vals = append([]float32(nil), c.Vals...)
+	return out
+}

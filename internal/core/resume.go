@@ -1,0 +1,37 @@
+package core
+
+import (
+	"fmt"
+
+	"lowdiff/internal/optim"
+	"lowdiff/internal/tensor"
+)
+
+// ResumeEngine builds an engine whose training state continues from a
+// recovered checkpoint: every worker's parameters and optimizer are set to
+// the recovered state and iteration numbering resumes where the failed job
+// stopped. With the same Options (seed included), the resumed trajectory
+// is the one the original job would have taken — the failover tests assert
+// this bit-exactly.
+func ResumeEngine(opts Options, params tensor.Vector, optState optim.State, iter int64) (*Engine, error) {
+	e, err := NewEngine(opts)
+	if err != nil {
+		return nil, err
+	}
+	if len(params) != opts.Spec.NumParams() {
+		return nil, fmt.Errorf("core: resume with %d params, model has %d", len(params), opts.Spec.NumParams())
+	}
+	if iter < 0 {
+		return nil, fmt.Errorf("core: resume at negative iteration %d", iter)
+	}
+	for w := range e.params {
+		copy(e.params[w].Flat, params)
+		o, err := optim.FromState(optState, len(params))
+		if err != nil {
+			return nil, err
+		}
+		e.opts2[w] = o
+	}
+	e.iter = iter
+	return e, nil
+}

@@ -1,0 +1,76 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"lowdiff/internal/model"
+	"lowdiff/internal/storage"
+	"lowdiff/internal/trace"
+)
+
+func TestEngineTraceRecordsTimeline(t *testing.T) {
+	rec := trace.New()
+	e, err := NewEngine(Options{
+		Spec: model.Tiny(2, 32), Workers: 2, Rho: 0.2,
+		Store: storage.NewMem(), FullEvery: 5, BatchSize: 1,
+		Seed: 51, Trace: rec,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	totals := rec.TrackTotals()
+	for _, track := range []string{"train", "checkpoint", "persist"} {
+		if totals[track] <= 0 {
+			t.Errorf("track %q recorded nothing (totals %v)", track, totals)
+		}
+	}
+	// 10 iteration spans + 10 sync spans on the train track.
+	var iters, syncs, diffAdds, persists int
+	for _, ev := range rec.Events() {
+		switch ev.Name {
+		case "iteration":
+			iters++
+		case "sync":
+			syncs++
+		case "diff-add":
+			diffAdds++
+		case "full-checkpoint":
+			persists++
+		}
+	}
+	if iters != 10 || syncs != 10 {
+		t.Fatalf("iterations=%d syncs=%d, want 10/10", iters, syncs)
+	}
+	if diffAdds != 10 {
+		t.Fatalf("diff-adds=%d, want 10", diffAdds)
+	}
+	if persists != 3 { // initial + iters 5, 10
+		t.Fatalf("persists=%d, want 3", persists)
+	}
+	// The timeline exports as valid Chrome trace JSON.
+	var buf bytes.Buffer
+	if err := rec.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Fatal("empty trace output")
+	}
+}
+
+func TestEngineTraceNilIsFree(t *testing.T) {
+	// The default (no recorder) path must work exactly as before.
+	e, err := NewEngine(Options{Spec: model.Tiny(2, 8), Workers: 1, Rho: 0.5, Seed: 52})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(5); err != nil {
+		t.Fatal(err)
+	}
+}

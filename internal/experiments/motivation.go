@@ -1,0 +1,143 @@
+package experiments
+
+import (
+	"fmt"
+
+	"lowdiff/internal/cluster"
+	"lowdiff/internal/core"
+	"lowdiff/internal/model"
+	"lowdiff/internal/timemodel"
+)
+
+// Fig. 1 models the paper's *motivating* measurement: naive differential
+// checkpointing before any of LowDiff's optimizations, i.e. an unoptimized
+// differential compressor and unbatched per-iteration torch.save-style
+// writes. Those two inefficiencies are exactly what §4 removes, which is
+// why these constants are deliberately worse than the tuned Naïve DC
+// baseline used in the evaluation experiments.
+const (
+	fig1CompressBps  = 15e9   // unoptimized differential compression
+	fig1WriteBps     = 0.33e9 // per-iteration small-tensor torch.save path
+	fig1ResidualFrac = 0.06   // steady memory/cache pressure while DC is on
+)
+
+func init() {
+	register("fig1a", fig1a)
+	register("fig1b", fig1b)
+	register("table1", table1)
+}
+
+// fig1a reproduces Figure 1(a): GPT2-L training time versus the DC
+// compression frequency. Paper: compression slows training by 13%-57%,
+// higher frequency slower.
+func fig1a() (*Table, error) {
+	spec, err := model.ByName("GPT2-L")
+	if err != nil {
+		return nil, err
+	}
+	w := cluster.Workload{Spec: spec, HW: timemodel.A100(), Workers: 8, Rho: 0.01}
+	tIter := w.IterTime()
+	const iters = 1000
+	base := tIter * iters
+	compress := timemodel.FullCheckpointBytes(spec) / fig1CompressBps
+
+	t := &Table{
+		ID:     "fig1a",
+		Title:  "Impact of DC compression frequency on GPT2-L training time (1000 iters)",
+		Header: []string{"compression", "train time (s)", "slowdown"},
+	}
+	t.AddRow("none", f1(base), "-")
+	for _, every := range []int{8, 4, 2, 1} {
+		perIter := tIter*(1+fig1ResidualFrac) + compress/float64(every)
+		total := perIter * iters
+		t.AddRow(fmt.Sprintf("every %d it", every), f1(total), pct(total/base-1))
+	}
+	t.Notes = append(t.Notes, "paper: 13%-57% slowdown, monotone in frequency")
+	return t, nil
+}
+
+// fig1b reproduces Figure 1(b): GPT2-L training time versus the DC
+// transmission (write) frequency. Paper: 12%-54% slowdown.
+func fig1b() (*Table, error) {
+	spec, err := model.ByName("GPT2-L")
+	if err != nil {
+		return nil, err
+	}
+	w := cluster.Workload{Spec: spec, HW: timemodel.A100(), Workers: 8, Rho: 0.01}
+	tIter := w.IterTime()
+	const iters = 1000
+	base := tIter * iters
+	// The compressed differential the motivating setup writes out each
+	// time (rho-compressed 3-Psi state).
+	diffBytes := 3 * 0.01 * float64(spec.NumParams()) * 8
+	write := diffBytes / fig1WriteBps
+
+	t := &Table{
+		ID:     "fig1b",
+		Title:  "Impact of DC transmission frequency on GPT2-L training time (1000 iters)",
+		Header: []string{"transmission", "train time (s)", "slowdown"},
+	}
+	t.AddRow("none", f1(base), "-")
+	for _, every := range []int{8, 4, 2, 1} {
+		perIter := tIter*(1+fig1ResidualFrac) + write/float64(every)
+		total := perIter * iters
+		t.AddRow(fmt.Sprintf("every %d it", every), f1(total), pct(total/base-1))
+	}
+	t.Notes = append(t.Notes, "paper: 12%-54% slowdown, monotone in frequency")
+	return t, nil
+}
+
+// Table1Params returns the wasted-time model constants behind Table I, in
+// iteration units: full-checkpoint write time S/W = 5.44 iterations
+// (GPT2-L on the calibrated SSD), differential merge RD = 0.2 iterations,
+// and an accelerated failure injector (M = 3.68 iterations) chosen via
+// Eq. (5) so the optimum lands at (FCF=20, BS=2) as the paper measures.
+func Table1Params() core.SystemParams {
+	return core.SystemParams{
+		N:  8,
+		M:  3.68,
+		W:  1,
+		S:  5.44,
+		T:  1000,
+		RF: 5.44,
+		RD: 0.2,
+	}
+}
+
+// table1 reproduces Table I: normalized wasted time across full-checkpoint
+// frequency (FCF, iterations) x batching size (BS).
+func table1() (*Table, error) {
+	p := Table1Params()
+	fcfs := []int{10, 20, 50, 100}
+	bss := []int{1, 2, 3, 4, 5, 6}
+	grid := make([][]float64, len(fcfs))
+	min := 0.0
+	for i, fcf := range fcfs {
+		grid[i] = make([]float64, len(bss))
+		for j, bs := range bss {
+			wt, err := p.WastedTime(core.Config{F: 1 / float64(fcf), B: float64(bs)})
+			if err != nil {
+				return nil, err
+			}
+			grid[i][j] = wt
+			if min == 0 || wt < min {
+				min = wt
+			}
+		}
+	}
+	t := &Table{
+		ID:     "table1",
+		Title:  "Normalized wasted time vs full-checkpoint frequency (FCF) and batching size (BS)",
+		Header: []string{"FCF\\BS", "1", "2", "3", "4", "5", "6"},
+	}
+	for i, fcf := range fcfs {
+		row := []string{fmt.Sprintf("%d", fcf)}
+		for j := range bss {
+			row = append(row, f3(grid[i][j]/min))
+		}
+		t.AddRow(row...)
+	}
+	t.Notes = append(t.Notes,
+		"paper: minimum 1.000 at (FCF=20, BS=2); row minima shift right as FCF grows")
+	return t, nil
+}

@@ -1,0 +1,174 @@
+// Package metrics provides the small concurrency-safe counters and summary
+// statistics shared by the functional engines and the cluster simulator.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing concurrency-safe counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a concurrency-safe instantaneous value with a high-water mark.
+type Gauge struct {
+	mu   sync.Mutex
+	v    int64
+	high int64
+}
+
+// Set replaces the gauge value, updating the high-water mark.
+func (g *Gauge) Set(v int64) {
+	g.mu.Lock()
+	g.v = v
+	if v > g.high {
+		g.high = v
+	}
+	g.mu.Unlock()
+}
+
+// Add adjusts the gauge by delta.
+func (g *Gauge) Add(delta int64) {
+	g.mu.Lock()
+	g.v += delta
+	if g.v > g.high {
+		g.high = g.v
+	}
+	g.mu.Unlock()
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.v
+}
+
+// High returns the high-water mark.
+func (g *Gauge) High() int64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.high
+}
+
+// Timer accumulates wall-clock durations.
+type Timer struct {
+	nanos atomic.Int64
+	count atomic.Int64
+}
+
+// Observe adds one duration sample.
+func (t *Timer) Observe(d time.Duration) {
+	t.nanos.Add(int64(d))
+	t.count.Add(1)
+}
+
+// Time runs fn and records its duration.
+func (t *Timer) Time(fn func()) {
+	start := time.Now()
+	fn()
+	t.Observe(time.Since(start))
+}
+
+// Total returns the accumulated duration.
+func (t *Timer) Total() time.Duration { return time.Duration(t.nanos.Load()) }
+
+// Count returns the number of samples.
+func (t *Timer) Count() int64 { return t.count.Load() }
+
+// Mean returns the mean sample duration (0 with no samples).
+func (t *Timer) Mean() time.Duration {
+	n := t.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(t.nanos.Load() / n)
+}
+
+// Summary computes order statistics over a float64 sample set.
+type Summary struct {
+	mu     sync.Mutex
+	vals   []float64
+	sorted bool
+}
+
+// Observe adds a sample.
+func (s *Summary) Observe(v float64) {
+	s.mu.Lock()
+	s.vals = append(s.vals, v)
+	s.sorted = false
+	s.mu.Unlock()
+}
+
+// Count returns the number of samples.
+func (s *Summary) Count() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.vals)
+}
+
+// Mean returns the sample mean (0 with no samples).
+func (s *Summary) Mean() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.vals) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range s.vals {
+		sum += v
+	}
+	return sum / float64(len(s.vals))
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) by nearest-rank over the
+// sorted samples; it returns 0 with no samples.
+func (s *Summary) Quantile(q float64) float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.vals) == 0 {
+		return 0
+	}
+	if !s.sorted {
+		sort.Float64s(s.vals)
+		s.sorted = true
+	}
+	if q <= 0 {
+		return s.vals[0]
+	}
+	if q >= 1 {
+		return s.vals[len(s.vals)-1]
+	}
+	idx := int(math.Ceil(q*float64(len(s.vals)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return s.vals[idx]
+}
+
+// Max returns the largest sample (0 with no samples).
+func (s *Summary) Max() float64 { return s.Quantile(1) }
+
+// Min returns the smallest sample (0 with no samples).
+func (s *Summary) Min() float64 { return s.Quantile(0) }
+
+// String formats count/mean/p50/p99/max for logs.
+func (s *Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.4g p50=%.4g p99=%.4g max=%.4g",
+		s.Count(), s.Mean(), s.Quantile(0.5), s.Quantile(0.99), s.Max())
+}

@@ -1,0 +1,103 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("Value = %d", c.Value())
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Fatalf("Value = %d, want 8000", c.Value())
+	}
+}
+
+func TestGauge(t *testing.T) {
+	var g Gauge
+	g.Set(5)
+	g.Add(-2)
+	if g.Value() != 3 {
+		t.Fatalf("Value = %d", g.Value())
+	}
+	if g.High() != 5 {
+		t.Fatalf("High = %d", g.High())
+	}
+	g.Add(10)
+	if g.High() != 13 {
+		t.Fatalf("High = %d", g.High())
+	}
+}
+
+func TestTimer(t *testing.T) {
+	var tm Timer
+	tm.Observe(10 * time.Millisecond)
+	tm.Observe(30 * time.Millisecond)
+	if tm.Count() != 2 {
+		t.Fatalf("Count = %d", tm.Count())
+	}
+	if tm.Total() != 40*time.Millisecond {
+		t.Fatalf("Total = %v", tm.Total())
+	}
+	if tm.Mean() != 20*time.Millisecond {
+		t.Fatalf("Mean = %v", tm.Mean())
+	}
+	var empty Timer
+	if empty.Mean() != 0 {
+		t.Fatal("empty timer mean should be 0")
+	}
+	tm.Time(func() { time.Sleep(time.Millisecond) })
+	if tm.Count() != 3 || tm.Total() < 41*time.Millisecond {
+		t.Fatalf("after Time: count=%d total=%v", tm.Count(), tm.Total())
+	}
+}
+
+func TestSummary(t *testing.T) {
+	var s Summary
+	if s.Mean() != 0 || s.Quantile(0.5) != 0 {
+		t.Fatal("empty summary should be zero")
+	}
+	for _, v := range []float64{5, 1, 3, 2, 4} {
+		s.Observe(v)
+	}
+	if s.Count() != 5 {
+		t.Fatalf("Count = %d", s.Count())
+	}
+	if s.Mean() != 3 {
+		t.Fatalf("Mean = %v", s.Mean())
+	}
+	if s.Min() != 1 || s.Max() != 5 {
+		t.Fatalf("min/max = %v/%v", s.Min(), s.Max())
+	}
+	if s.Quantile(0.5) != 3 {
+		t.Fatalf("p50 = %v", s.Quantile(0.5))
+	}
+	// Observing after a quantile query re-sorts correctly.
+	s.Observe(0)
+	if s.Min() != 0 {
+		t.Fatalf("min after new observation = %v", s.Min())
+	}
+	if s.String() == "" {
+		t.Fatal("String should format")
+	}
+}

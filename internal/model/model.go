@@ -1,0 +1,303 @@
+// Package model defines the workload zoo used throughout the reproduction:
+// the eight DNNs from the paper's Table "Models and datasets used for
+// evaluation" (ResNet-50/101, VGG-16/19, BERT-B/L, GPT2-S/L), described as
+// layer-structured parameter specs.
+//
+// A Spec is purely structural — an ordered list of named layers with
+// parameter counts. The functional training layer materializes a Spec into
+// flat float32 storage (see Params); the performance simulator only needs
+// the sizes. Layer order is forward order; gradients are produced in
+// reverse (backward) order, which LowDiff+ exploits for layer-wise
+// snapshotting.
+package model
+
+import (
+	"fmt"
+	"sort"
+
+	"lowdiff/internal/tensor"
+)
+
+// Layer is one parameter group (a conv kernel, an attention projection, an
+// embedding table, ...) with its flat parameter count.
+type Layer struct {
+	Name string
+	Size int
+}
+
+// Spec is an ordered layer list describing a model's parameters.
+type Spec struct {
+	Name   string
+	Layers []Layer
+}
+
+// NumParams returns the total parameter count Ψ.
+func (s Spec) NumParams() int {
+	n := 0
+	for _, l := range s.Layers {
+		n += l.Size
+	}
+	return n
+}
+
+// Bytes returns the parameter storage size in bytes (float32).
+func (s Spec) Bytes() int64 { return int64(s.NumParams()) * 4 }
+
+// FullCheckpointBytes returns the size of a full checkpoint: parameters plus
+// the two Adam moment vectors, i.e. 3Ψ floats (paper, Finding 2).
+func (s Spec) FullCheckpointBytes() int64 { return 3 * s.Bytes() }
+
+// Validate reports structural problems: empty spec, empty or non-positive
+// layers, duplicate layer names.
+func (s Spec) Validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("model: spec has no name")
+	}
+	if len(s.Layers) == 0 {
+		return fmt.Errorf("model %s: no layers", s.Name)
+	}
+	seen := make(map[string]bool, len(s.Layers))
+	for i, l := range s.Layers {
+		if l.Name == "" {
+			return fmt.Errorf("model %s: layer %d has no name", s.Name, i)
+		}
+		if l.Size <= 0 {
+			return fmt.Errorf("model %s: layer %q has size %d", s.Name, l.Name, l.Size)
+		}
+		if seen[l.Name] {
+			return fmt.Errorf("model %s: duplicate layer name %q", s.Name, l.Name)
+		}
+		seen[l.Name] = true
+	}
+	return nil
+}
+
+// LayerOffsets returns the flat-storage offset of each layer, in layer order.
+func (s Spec) LayerOffsets() []int {
+	out := make([]int, len(s.Layers))
+	off := 0
+	for i, l := range s.Layers {
+		out[i] = off
+		off += l.Size
+	}
+	return out
+}
+
+// Scaled returns a copy of s with every layer size divided by div (minimum
+// 1 parameter per layer). Used to run full algorithmic paths at test scale.
+func (s Spec) Scaled(div int) Spec {
+	if div < 1 {
+		div = 1
+	}
+	out := Spec{Name: fmt.Sprintf("%s/%d", s.Name, div)}
+	out.Layers = make([]Layer, len(s.Layers))
+	for i, l := range s.Layers {
+		sz := l.Size / div
+		if sz < 1 {
+			sz = 1
+		}
+		out.Layers[i] = Layer{Name: l.Name, Size: sz}
+	}
+	return out
+}
+
+// Params is a Spec materialized into flat float32 storage, with per-layer
+// views aliasing one contiguous arena (mirroring fused GPU parameter
+// storage).
+type Params struct {
+	Spec  Spec
+	Flat  tensor.Vector   // the whole arena, length NumParams()
+	Views []tensor.Vector // per-layer aliases of Flat, in layer order
+}
+
+// NewParams allocates zeroed parameter storage for spec.
+func NewParams(spec Spec) *Params {
+	flat := tensor.New(spec.NumParams())
+	p := &Params{Spec: spec, Flat: flat}
+	p.Views = make([]tensor.Vector, len(spec.Layers))
+	off := 0
+	for i, l := range spec.Layers {
+		p.Views[i] = flat[off : off+l.Size]
+		off += l.Size
+	}
+	return p
+}
+
+// Clone deep-copies the parameters (views are rebuilt over the new arena).
+func (p *Params) Clone() *Params {
+	out := NewParams(p.Spec)
+	copy(out.Flat, p.Flat)
+	return out
+}
+
+// InitUniform fills the arena with deterministic uniform values, layer by
+// layer, scaled like common fan-in initializations so magnitudes vary by
+// layer.
+func (p *Params) InitUniform(seed uint64) {
+	r := tensor.NewRNG(seed)
+	for i, v := range p.Views {
+		bound := float32(0.1) / float32(1+i%7)
+		r.FillUniform(v, -bound, bound)
+	}
+}
+
+// adjustable layer padding ------------------------------------------------
+
+// withAdjustable appends a layer named name sized so that the spec total
+// equals target. It panics if the remainder is not positive; the model
+// constructors below are checked by tests, so a violation is a programming
+// error.
+func withAdjustable(name string, layers []Layer, target int, adjName string) Spec {
+	sum := 0
+	for _, l := range layers {
+		sum += l.Size
+	}
+	rem := target - sum
+	if rem <= 0 {
+		panic(fmt.Sprintf("model %s: fixed layers (%d) exceed target (%d)", name, sum, target))
+	}
+	return Spec{Name: name, Layers: append(layers, Layer{Name: adjName, Size: rem})}
+}
+
+// transformer appends nBlocks standard pre-norm transformer blocks with the
+// given hidden width and MLP expansion, then makes the embedding table the
+// adjustable layer so the spec total matches the paper's headline count.
+func transformer(name string, target, nBlocks, hidden, mlpMult int) Spec {
+	var layers []Layer
+	for b := 0; b < nBlocks; b++ {
+		pre := fmt.Sprintf("block%02d.", b)
+		layers = append(layers,
+			Layer{pre + "ln1", 2 * hidden},
+			Layer{pre + "attn.qkv", hidden*3*hidden + 3*hidden},
+			Layer{pre + "attn.proj", hidden*hidden + hidden},
+			Layer{pre + "ln2", 2 * hidden},
+			Layer{pre + "mlp.fc", hidden*mlpMult*hidden + mlpMult*hidden},
+			Layer{pre + "mlp.proj", mlpMult*hidden*hidden + hidden},
+		)
+	}
+	layers = append(layers, Layer{"ln_f", 2 * hidden})
+	// Embedding first in forward order: prepend by building a fresh slice.
+	spec := withAdjustable(name, layers, target, "embed")
+	n := len(spec.Layers)
+	reordered := make([]Layer, 0, n)
+	reordered = append(reordered, spec.Layers[n-1]) // embed
+	reordered = append(reordered, spec.Layers[:n-1]...)
+	spec.Layers = reordered
+	return spec
+}
+
+// convStack builds a CNN spec from 3x3 conv channel pairs plus an
+// adjustable classifier head.
+func convStack(name string, target int, channels [][2]int) Spec {
+	var layers []Layer
+	for i, c := range channels {
+		layers = append(layers, Layer{
+			Name: fmt.Sprintf("conv%02d_%dx%d", i+1, c[0], c[1]),
+			Size: 3*3*c[0]*c[1] + c[1],
+		})
+	}
+	return withAdjustable(name, layers, target, "classifier")
+}
+
+// bottleneck appends ResNet bottleneck stages (1x1 reduce, 3x3, 1x1 expand).
+func resnet(name string, target int, blocksPerStage []int) Spec {
+	layers := []Layer{{"conv1_7x7", 7*7*3*64 + 64}}
+	mids := []int{64, 128, 256, 512}
+	in := 64
+	for s, nb := range blocksPerStage {
+		mid := mids[s]
+		out := mid * 4
+		for b := 0; b < nb; b++ {
+			pre := fmt.Sprintf("stage%d.block%d.", s+1, b)
+			layers = append(layers,
+				Layer{pre + "reduce", in*mid + mid},
+				Layer{pre + "conv3x3", 3*3*mid*mid + mid},
+				Layer{pre + "expand", mid*out + out},
+			)
+			if b == 0 {
+				layers = append(layers, Layer{pre + "downsample", in*out + out})
+			}
+			in = out
+		}
+	}
+	return withAdjustable(name, layers, target, "fc")
+}
+
+// The model zoo. Parameter totals match the paper's Table (b) exactly.
+
+// ResNet50 returns the ResNet-50 spec (25.6M parameters, CIFAR-100).
+func ResNet50() Spec { return resnet("ResNet-50", 25_600_000, []int{3, 4, 6, 3}) }
+
+// ResNet101 returns the ResNet-101 spec (44.5M parameters, ImageNet).
+func ResNet101() Spec { return resnet("ResNet-101", 44_500_000, []int{3, 4, 23, 3}) }
+
+// VGG16 returns the VGG-16 spec (138.8M parameters, CIFAR-100).
+func VGG16() Spec {
+	return convStack("VGG-16", 138_800_000, [][2]int{
+		{3, 64}, {64, 64}, {64, 128}, {128, 128},
+		{128, 256}, {256, 256}, {256, 256},
+		{256, 512}, {512, 512}, {512, 512},
+		{512, 512}, {512, 512}, {512, 512},
+	})
+}
+
+// VGG19 returns the VGG-19 spec (143.7M parameters, ImageNet).
+func VGG19() Spec {
+	return convStack("VGG-19", 143_700_000, [][2]int{
+		{3, 64}, {64, 64}, {64, 128}, {128, 128},
+		{128, 256}, {256, 256}, {256, 256}, {256, 256},
+		{256, 512}, {512, 512}, {512, 512}, {512, 512},
+		{512, 512}, {512, 512}, {512, 512}, {512, 512},
+	})
+}
+
+// BERTBase returns the BERT-Base spec (110M parameters, SQuAD).
+func BERTBase() Spec { return transformer("BERT-B", 110_000_000, 12, 768, 4) }
+
+// BERTLarge returns the BERT-Large spec (334M parameters, SQuAD).
+func BERTLarge() Spec { return transformer("BERT-L", 334_000_000, 24, 1024, 4) }
+
+// GPT2Small returns the GPT2-S spec (117M parameters, WikiText-2).
+func GPT2Small() Spec { return transformer("GPT2-S", 117_000_000, 12, 768, 4) }
+
+// GPT2Large returns the GPT2-L spec (762M parameters, WikiText-103).
+func GPT2Large() Spec { return transformer("GPT2-L", 762_000_000, 36, 1280, 4) }
+
+// Tiny returns a small synthetic spec for tests and examples: nLayers layers
+// of layerSize parameters each.
+func Tiny(nLayers, layerSize int) Spec {
+	s := Spec{Name: fmt.Sprintf("tiny-%dx%d", nLayers, layerSize)}
+	for i := 0; i < nLayers; i++ {
+		s.Layers = append(s.Layers, Layer{Name: fmt.Sprintf("layer%02d", i), Size: layerSize})
+	}
+	return s
+}
+
+// Registry returns the full zoo in the paper's table order.
+func Registry() []Spec {
+	return []Spec{
+		ResNet50(), ResNet101(), VGG16(), VGG19(),
+		BERTBase(), BERTLarge(), GPT2Small(), GPT2Large(),
+	}
+}
+
+// ByName looks a zoo model up by its paper name (e.g. "GPT2-L").
+func ByName(name string) (Spec, error) {
+	for _, s := range Registry() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return Spec{}, fmt.Errorf("model: unknown model %q", name)
+}
+
+// Names returns the sorted zoo model names.
+func Names() []string {
+	reg := Registry()
+	out := make([]string, len(reg))
+	for i, s := range reg {
+		out[i] = s.Name
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,231 @@
+package model
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"lowdiff/internal/tensor"
+)
+
+// paperParams are the exact headline counts from the paper's setup table.
+var paperParams = map[string]int{
+	"ResNet-50":  25_600_000,
+	"ResNet-101": 44_500_000,
+	"VGG-16":     138_800_000,
+	"VGG-19":     143_700_000,
+	"BERT-B":     110_000_000,
+	"BERT-L":     334_000_000,
+	"GPT2-S":     117_000_000,
+	"GPT2-L":     762_000_000,
+}
+
+func TestZooMatchesPaperCounts(t *testing.T) {
+	for _, s := range Registry() {
+		want, ok := paperParams[s.Name]
+		if !ok {
+			t.Fatalf("model %s not in the paper table", s.Name)
+		}
+		if got := s.NumParams(); got != want {
+			t.Errorf("%s: NumParams = %d, want %d", s.Name, got, want)
+		}
+	}
+	if len(Registry()) != len(paperParams) {
+		t.Fatalf("registry has %d models, want %d", len(Registry()), len(paperParams))
+	}
+}
+
+func TestZooValidates(t *testing.T) {
+	for _, s := range Registry() {
+		if err := s.Validate(); err != nil {
+			t.Errorf("%s: %v", s.Name, err)
+		}
+	}
+}
+
+func TestZooLayerStructure(t *testing.T) {
+	// Transformer specs must lead with the embedding and have per-block layers.
+	g := GPT2Small()
+	if g.Layers[0].Name != "embed" {
+		t.Fatalf("GPT2-S first layer = %q, want embed", g.Layers[0].Name)
+	}
+	blocks := 0
+	for _, l := range g.Layers {
+		if strings.HasSuffix(l.Name, ".attn.qkv") {
+			blocks++
+		}
+	}
+	if blocks != 12 {
+		t.Fatalf("GPT2-S has %d attention blocks, want 12", blocks)
+	}
+	// CNN specs end with the adjustable classifier.
+	v := VGG16()
+	if last := v.Layers[len(v.Layers)-1].Name; last != "classifier" {
+		t.Fatalf("VGG-16 last layer = %q, want classifier", last)
+	}
+	r := ResNet101()
+	found := 0
+	for _, l := range r.Layers {
+		if strings.Contains(l.Name, "stage3.") && strings.HasSuffix(l.Name, ".conv3x3") {
+			found++
+		}
+	}
+	if found != 23 {
+		t.Fatalf("ResNet-101 stage3 has %d blocks, want 23", found)
+	}
+}
+
+func TestBytesAndFullCheckpoint(t *testing.T) {
+	s := Tiny(2, 10)
+	if s.Bytes() != 80 {
+		t.Fatalf("Bytes = %d, want 80", s.Bytes())
+	}
+	if s.FullCheckpointBytes() != 240 {
+		t.Fatalf("FullCheckpointBytes = %d, want 240 (3Ψ)", s.FullCheckpointBytes())
+	}
+}
+
+func TestValidateRejectsBadSpecs(t *testing.T) {
+	cases := []Spec{
+		{},
+		{Name: "x"},
+		{Name: "x", Layers: []Layer{{"", 1}}},
+		{Name: "x", Layers: []Layer{{"a", 0}}},
+		{Name: "x", Layers: []Layer{{"a", -3}}},
+		{Name: "x", Layers: []Layer{{"a", 1}, {"a", 2}}},
+	}
+	for i, s := range cases {
+		if err := s.Validate(); err == nil {
+			t.Errorf("case %d: want validation error", i)
+		}
+	}
+}
+
+func TestLayerOffsets(t *testing.T) {
+	s := Spec{Name: "x", Layers: []Layer{{"a", 3}, {"b", 5}, {"c", 2}}}
+	off := s.LayerOffsets()
+	want := []int{0, 3, 8}
+	for i := range want {
+		if off[i] != want[i] {
+			t.Fatalf("offsets = %v, want %v", off, want)
+		}
+	}
+}
+
+func TestScaled(t *testing.T) {
+	s := GPT2Large().Scaled(1000)
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s.NumParams() >= GPT2Large().NumParams()/500 {
+		t.Fatalf("scaled model too large: %d", s.NumParams())
+	}
+	// Tiny layers never hit zero.
+	one := Spec{Name: "x", Layers: []Layer{{"a", 3}}}.Scaled(10)
+	if one.Layers[0].Size != 1 {
+		t.Fatalf("scaled tiny layer = %d, want 1", one.Layers[0].Size)
+	}
+	if got := Tiny(1, 10).Scaled(0).Layers[0].Size; got != 10 {
+		t.Fatalf("Scaled(0) should clamp to 1, got layer size %d", got)
+	}
+}
+
+func TestNewParamsViewsAliasFlat(t *testing.T) {
+	p := NewParams(Tiny(3, 4))
+	p.Views[1][0] = 42
+	if p.Flat[4] != 42 {
+		t.Fatal("view does not alias flat arena")
+	}
+	if len(p.Flat) != 12 {
+		t.Fatalf("flat length = %d, want 12", len(p.Flat))
+	}
+	for i, v := range p.Views {
+		if len(v) != 4 {
+			t.Fatalf("view %d length = %d, want 4", i, len(v))
+		}
+	}
+}
+
+func TestParamsCloneIndependent(t *testing.T) {
+	p := NewParams(Tiny(2, 3))
+	p.InitUniform(1)
+	c := p.Clone()
+	if !c.Flat.Equal(p.Flat) {
+		t.Fatal("clone should copy values")
+	}
+	c.Flat[0] += 1
+	if c.Flat[0] == p.Flat[0] {
+		t.Fatal("clone aliases original")
+	}
+	c.Views[0][1] = 99
+	if c.Flat[1] != 99 {
+		t.Fatal("clone views do not alias clone arena")
+	}
+}
+
+func TestInitUniformDeterministic(t *testing.T) {
+	a := NewParams(Tiny(4, 100))
+	b := NewParams(Tiny(4, 100))
+	a.InitUniform(7)
+	b.InitUniform(7)
+	if !a.Flat.Equal(b.Flat) {
+		t.Fatal("same seed must give same init")
+	}
+	bDiff := NewParams(Tiny(4, 100))
+	bDiff.InitUniform(8)
+	if a.Flat.Equal(bDiff.Flat) {
+		t.Fatal("different seeds should differ")
+	}
+	var zero tensor.Vector = tensor.New(len(a.Flat))
+	if a.Flat.Equal(zero) {
+		t.Fatal("init left parameters at zero")
+	}
+}
+
+func TestByName(t *testing.T) {
+	s, err := ByName("GPT2-L")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumParams() != 762_000_000 {
+		t.Fatalf("GPT2-L params = %d", s.NumParams())
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("want error for unknown model")
+	}
+}
+
+func TestNamesSorted(t *testing.T) {
+	names := Names()
+	if len(names) != 8 {
+		t.Fatalf("got %d names", len(names))
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("names not sorted: %v", names)
+		}
+	}
+}
+
+// Property: offsets are consistent with sizes for arbitrary tiny specs, and
+// scaling preserves layer count.
+func TestSpecProperties(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := tensor.NewRNG(seed)
+		n := 1 + r.Intn(20)
+		sz := 1 + r.Intn(50)
+		s := Tiny(n, sz)
+		off := s.LayerOffsets()
+		for i, l := range s.Layers {
+			want := i * sz
+			if off[i] != want || l.Size != sz {
+				return false
+			}
+		}
+		sc := s.Scaled(1 + r.Intn(10))
+		return len(sc.Layers) == n && sc.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,80 @@
+package optim
+
+import (
+	"fmt"
+	"testing"
+
+	"lowdiff/internal/tensor"
+)
+
+func benchVecs(n int) (params, grad tensor.Vector) {
+	r := tensor.NewRNG(1)
+	params = tensor.New(n)
+	grad = tensor.New(n)
+	r.FillUniform(params, -1, 1)
+	r.FillUniform(grad, -1, 1)
+	return
+}
+
+func BenchmarkAdamStep(b *testing.B) {
+	for _, n := range []int{1 << 14, 1 << 18} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			params, grad := benchVecs(n)
+			a := NewAdam(n, AdamConfig{})
+			b.SetBytes(int64(n * 4))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := a.Step(params, grad); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkAdamStepSparse(b *testing.B) {
+	const n = 1 << 18
+	params, _ := benchVecs(n)
+	a := NewAdam(n, AdamConfig{})
+	k := n / 100
+	idx := make([]int32, k)
+	vals := tensor.New(k)
+	r := tensor.NewRNG(2)
+	for i := range idx {
+		idx[i] = int32(i * 100)
+		vals[i] = r.Float32()
+	}
+	b.SetBytes(int64(n * 4))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := a.StepSparse(params, idx, vals); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSGDStep(b *testing.B) {
+	const n = 1 << 18
+	params, grad := benchVecs(n)
+	s := NewSGD(n, SGDConfig{Momentum: 0.9})
+	b.SetBytes(int64(n * 4))
+	for i := 0; i < b.N; i++ {
+		if err := s.Step(params, grad); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAdamSnapshot(b *testing.B) {
+	const n = 1 << 18
+	params, grad := benchVecs(n)
+	a := NewAdam(n, AdamConfig{})
+	if err := a.Step(params, grad); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(n * 8)) // two moment vectors
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = a.Snapshot()
+	}
+}

@@ -1,0 +1,477 @@
+// Package optim implements the optimizers used by the functional training
+// layer: Adam (the paper's default) and SGD with momentum.
+//
+// Two properties matter for checkpointing:
+//
+//  1. Optimizer state is snapshot/restorable, because a full checkpoint is
+//     (parameters, optimizer state) — for Adam that is the 2Ψ moment
+//     vectors behind the paper's "full checkpoint = 3Ψ" accounting.
+//  2. Steps are deterministic, so replaying the gradients stored in
+//     differential checkpoints from a restored full checkpoint reproduces
+//     the live model state bit-exactly (paper Finding 1: C^D_t = Adam(G_t)).
+//
+// A sparse step (compressed gradient applied without materializing the
+// dense vector) is provided and is exactly equivalent to decompressing and
+// taking a dense step; tests assert the equivalence.
+package optim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+
+	"lowdiff/internal/tensor"
+)
+
+// Optimizer updates a flat parameter vector from a gradient of equal length.
+type Optimizer interface {
+	// Step applies one dense update: params <- params + rule(grad).
+	Step(params, grad tensor.Vector) error
+	// StepSparse applies one update where the gradient is zero except at
+	// idx (values vals). Must be exactly equivalent to a dense Step on the
+	// scattered gradient.
+	StepSparse(params tensor.Vector, idx []int32, vals tensor.Vector) error
+	// Snapshot returns a deep copy of the optimizer state.
+	Snapshot() State
+	// Restore replaces the optimizer state from a snapshot.
+	Restore(State) error
+	// Clone returns an independent copy of the optimizer.
+	Clone() Optimizer
+	// StepCount returns the number of steps taken.
+	StepCount() int64
+	// Name identifies the rule ("adam", "sgd").
+	Name() string
+}
+
+// State is a serializable optimizer snapshot. Slots hold the per-parameter
+// auxiliary vectors (Adam moments, SGD momentum); Scalars hold hyperparams
+// and the step counter so a restored optimizer is self-contained.
+type State struct {
+	Name    string
+	Step    int64
+	Scalars map[string]float64
+	Slots   map[string][]float32
+}
+
+// clone deep-copies a state.
+func (s State) clone() State {
+	out := State{Name: s.Name, Step: s.Step}
+	out.Scalars = make(map[string]float64, len(s.Scalars))
+	for k, v := range s.Scalars {
+		out.Scalars[k] = v
+	}
+	out.Slots = make(map[string][]float32, len(s.Slots))
+	for k, v := range s.Slots {
+		c := make([]float32, len(v))
+		copy(c, v)
+		out.Slots[k] = c
+	}
+	return out
+}
+
+// SlotBytes returns the total byte size of the per-parameter slots — the
+// optimizer's contribution to a full checkpoint (2Ψ·4 bytes for Adam).
+func (s State) SlotBytes() int64 {
+	var n int64
+	for _, v := range s.Slots {
+		n += int64(len(v)) * 4
+	}
+	return n
+}
+
+var errNilState = errors.New("optim: restore from mismatched state")
+
+// AdamConfig holds Adam hyperparameters. Zero values are replaced by the
+// customary defaults.
+type AdamConfig struct {
+	LR    float64 // learning rate, default 1e-3
+	Beta1 float64 // default 0.9
+	Beta2 float64 // default 0.999
+	Eps   float64 // default 1e-8
+}
+
+func (c AdamConfig) withDefaults() AdamConfig {
+	if c.LR == 0 {
+		c.LR = 1e-3
+	}
+	if c.Beta1 == 0 {
+		c.Beta1 = 0.9
+	}
+	if c.Beta2 == 0 {
+		c.Beta2 = 0.999
+	}
+	if c.Eps == 0 {
+		c.Eps = 1e-8
+	}
+	return c
+}
+
+// Adam is the Adam optimizer with bias correction. It maintains first and
+// second moment vectors of the same length as the parameters (2Ψ extra
+// state, per the paper's Finding 2).
+type Adam struct {
+	cfg  AdamConfig
+	m, v tensor.Vector
+	step int64
+}
+
+// NewAdam returns an Adam optimizer for n parameters.
+func NewAdam(n int, cfg AdamConfig) *Adam {
+	return &Adam{cfg: cfg.withDefaults(), m: tensor.New(n), v: tensor.New(n)}
+}
+
+// Name implements Optimizer.
+func (a *Adam) Name() string { return "adam" }
+
+// StepCount implements Optimizer.
+func (a *Adam) StepCount() int64 { return a.step }
+
+// Moments exposes read-only views of the first and second moments (used by
+// checkpoint encoding).
+func (a *Adam) Moments() (m, v tensor.Vector) { return a.m, a.v }
+
+// Step implements Optimizer.
+func (a *Adam) Step(params, grad tensor.Vector) error {
+	if len(params) != len(a.m) || len(grad) != len(a.m) {
+		return fmt.Errorf("optim: adam step size mismatch: params %d, grad %d, state %d",
+			len(params), len(grad), len(a.m))
+	}
+	a.step++
+	b1 := float32(a.cfg.Beta1)
+	b2 := float32(a.cfg.Beta2)
+	c1 := 1 - b1
+	c2 := 1 - b2
+	corr1 := float32(1 / (1 - math.Pow(a.cfg.Beta1, float64(a.step))))
+	corr2 := float32(1 / (1 - math.Pow(a.cfg.Beta2, float64(a.step))))
+	lr := float32(a.cfg.LR)
+	eps := float32(a.cfg.Eps)
+	for i, g := range grad {
+		m := b1*a.m[i] + c1*g
+		v := b2*a.v[i] + c2*g*g
+		a.m[i] = m
+		a.v[i] = v
+		mh := m * corr1
+		vh := v * corr2
+		params[i] -= lr * mh / (sqrt32(vh) + eps)
+	}
+	return nil
+}
+
+// StepSparse implements Optimizer. All moments decay (the mathematically
+// dense behaviour), and gradient values contribute only at idx.
+func (a *Adam) StepSparse(params tensor.Vector, idx []int32, vals tensor.Vector) error {
+	if len(params) != len(a.m) {
+		return fmt.Errorf("optim: adam sparse step size mismatch: params %d, state %d", len(params), len(a.m))
+	}
+	if len(idx) != len(vals) {
+		return fmt.Errorf("optim: adam sparse step: idx %d, vals %d", len(idx), len(vals))
+	}
+	a.step++
+	b1 := float32(a.cfg.Beta1)
+	b2 := float32(a.cfg.Beta2)
+	c1 := 1 - b1
+	c2 := 1 - b2
+	corr1 := float32(1 / (1 - math.Pow(a.cfg.Beta1, float64(a.step))))
+	corr2 := float32(1 / (1 - math.Pow(a.cfg.Beta2, float64(a.step))))
+	lr := float32(a.cfg.LR)
+	eps := float32(a.cfg.Eps)
+	// Mark gradient positions first so the single pass below matches the
+	// dense computation order bit for bit.
+	dense := densePool.get(len(params))
+	defer densePool.put(dense)
+	for i, j := range idx {
+		if j < 0 || int(j) >= len(params) {
+			return fmt.Errorf("optim: adam sparse step index %d out of range [0,%d)", j, len(params))
+		}
+		dense[j] += vals[i]
+	}
+	for i := range params {
+		g := dense[i]
+		m := b1*a.m[i] + c1*g
+		v := b2*a.v[i] + c2*g*g
+		a.m[i] = m
+		a.v[i] = v
+		mh := m * corr1
+		vh := v * corr2
+		params[i] -= lr * mh / (sqrt32(vh) + eps)
+	}
+	return nil
+}
+
+// Snapshot implements Optimizer.
+func (a *Adam) Snapshot() State {
+	return State{
+		Name: "adam",
+		Step: a.step,
+		Scalars: map[string]float64{
+			"lr": a.cfg.LR, "beta1": a.cfg.Beta1, "beta2": a.cfg.Beta2, "eps": a.cfg.Eps,
+		},
+		Slots: map[string][]float32{
+			"m": a.m.Clone(),
+			"v": a.v.Clone(),
+		},
+	}
+}
+
+// Restore implements Optimizer.
+func (a *Adam) Restore(s State) error {
+	if s.Name != "adam" {
+		return fmt.Errorf("optim: restore adam from %q state: %w", s.Name, errNilState)
+	}
+	m, okM := s.Slots["m"]
+	v, okV := s.Slots["v"]
+	if !okM || !okV || len(m) != len(a.m) || len(v) != len(a.v) {
+		return fmt.Errorf("optim: restore adam: slot shape mismatch (m=%d v=%d want %d): %w",
+			len(m), len(v), len(a.m), errNilState)
+	}
+	copy(a.m, m)
+	copy(a.v, v)
+	a.step = s.Step
+	if lr, ok := s.Scalars["lr"]; ok {
+		a.cfg.LR = lr
+	}
+	if b, ok := s.Scalars["beta1"]; ok {
+		a.cfg.Beta1 = b
+	}
+	if b, ok := s.Scalars["beta2"]; ok {
+		a.cfg.Beta2 = b
+	}
+	if e, ok := s.Scalars["eps"]; ok {
+		a.cfg.Eps = e
+	}
+	return nil
+}
+
+// Clone implements Optimizer.
+func (a *Adam) Clone() Optimizer {
+	return &Adam{cfg: a.cfg, m: a.m.Clone(), v: a.v.Clone(), step: a.step}
+}
+
+// SGDConfig holds SGD hyperparameters. A zero LR defaults to 0.01.
+type SGDConfig struct {
+	LR       float64
+	Momentum float64
+}
+
+func (c SGDConfig) withDefaults() SGDConfig {
+	if c.LR == 0 {
+		c.LR = 0.01
+	}
+	return c
+}
+
+// SGD is stochastic gradient descent with optional momentum. With zero
+// momentum its updates are linear in the gradient, which makes batched
+// (accumulated) differential replay bit-exact — the property the parallel
+// recovery tests rely on.
+type SGD struct {
+	cfg  SGDConfig
+	buf  tensor.Vector // momentum buffer; nil when momentum == 0
+	n    int
+	step int64
+}
+
+// NewSGD returns an SGD optimizer for n parameters.
+func NewSGD(n int, cfg SGDConfig) *SGD {
+	s := &SGD{cfg: cfg.withDefaults(), n: n}
+	if s.cfg.Momentum != 0 {
+		s.buf = tensor.New(n)
+	}
+	return s
+}
+
+// Name implements Optimizer.
+func (s *SGD) Name() string { return "sgd" }
+
+// StepCount implements Optimizer.
+func (s *SGD) StepCount() int64 { return s.step }
+
+// Step implements Optimizer.
+func (s *SGD) Step(params, grad tensor.Vector) error {
+	if len(params) != s.n || len(grad) != s.n {
+		return fmt.Errorf("optim: sgd step size mismatch: params %d, grad %d, want %d", len(params), len(grad), s.n)
+	}
+	s.step++
+	lr := float32(s.cfg.LR)
+	if s.buf == nil {
+		for i, g := range grad {
+			params[i] -= lr * g
+		}
+		return nil
+	}
+	mu := float32(s.cfg.Momentum)
+	for i, g := range grad {
+		b := mu*s.buf[i] + g
+		s.buf[i] = b
+		params[i] -= lr * b
+	}
+	return nil
+}
+
+// StepSparse implements Optimizer. With zero momentum only the indexed
+// entries change; with momentum all entries decay like the dense step.
+func (s *SGD) StepSparse(params tensor.Vector, idx []int32, vals tensor.Vector) error {
+	if len(params) != s.n {
+		return fmt.Errorf("optim: sgd sparse step size mismatch: params %d, want %d", len(params), s.n)
+	}
+	if len(idx) != len(vals) {
+		return fmt.Errorf("optim: sgd sparse step: idx %d, vals %d", len(idx), len(vals))
+	}
+	for _, j := range idx {
+		if j < 0 || int(j) >= s.n {
+			return fmt.Errorf("optim: sgd sparse step index %d out of range [0,%d)", j, s.n)
+		}
+	}
+	s.step++
+	lr := float32(s.cfg.LR)
+	if s.buf == nil {
+		// Pure SGD: zero gradient entries are no-ops, so update only idx.
+		// Duplicate indices accumulate exactly like the dense scatter.
+		dense := densePool.get(len(params))
+		defer densePool.put(dense)
+		for i, j := range idx {
+			dense[j] += vals[i]
+		}
+		for _, j := range idx {
+			if g := dense[j]; g != 0 {
+				params[j] -= lr * g
+				dense[j] = 0
+			}
+		}
+		return nil
+	}
+	mu := float32(s.cfg.Momentum)
+	dense := densePool.get(len(params))
+	defer densePool.put(dense)
+	for i, j := range idx {
+		dense[j] += vals[i]
+	}
+	for i := range params {
+		b := mu*s.buf[i] + dense[i]
+		s.buf[i] = b
+		params[i] -= lr * b
+	}
+	return nil
+}
+
+// Snapshot implements Optimizer.
+func (s *SGD) Snapshot() State {
+	st := State{
+		Name:    "sgd",
+		Step:    s.step,
+		Scalars: map[string]float64{"lr": s.cfg.LR, "momentum": s.cfg.Momentum},
+		Slots:   map[string][]float32{},
+	}
+	if s.buf != nil {
+		st.Slots["momentum"] = s.buf.Clone()
+	}
+	return st
+}
+
+// Restore implements Optimizer.
+func (s *SGD) Restore(st State) error {
+	if st.Name != "sgd" {
+		return fmt.Errorf("optim: restore sgd from %q state: %w", st.Name, errNilState)
+	}
+	if buf, ok := st.Slots["momentum"]; ok {
+		if len(buf) != s.n {
+			return fmt.Errorf("optim: restore sgd: momentum length %d, want %d: %w", len(buf), s.n, errNilState)
+		}
+		if s.buf == nil {
+			s.buf = tensor.New(s.n)
+		}
+		copy(s.buf, buf)
+	} else if s.cfg.Momentum != 0 {
+		return fmt.Errorf("optim: restore sgd: missing momentum slot: %w", errNilState)
+	}
+	s.step = st.Step
+	if lr, ok := st.Scalars["lr"]; ok {
+		s.cfg.LR = lr
+	}
+	if mu, ok := st.Scalars["momentum"]; ok {
+		s.cfg.Momentum = mu
+	}
+	return nil
+}
+
+// Clone implements Optimizer.
+func (s *SGD) Clone() Optimizer {
+	out := &SGD{cfg: s.cfg, n: s.n, step: s.step}
+	if s.buf != nil {
+		out.buf = s.buf.Clone()
+	}
+	return out
+}
+
+// New constructs an optimizer by rule name with default hyperparameters.
+func New(name string, n int) (Optimizer, error) {
+	switch name {
+	case "adam":
+		return NewAdam(n, AdamConfig{}), nil
+	case "sgd":
+		return NewSGD(n, SGDConfig{}), nil
+	default:
+		return nil, fmt.Errorf("optim: unknown optimizer %q", name)
+	}
+}
+
+// FromState constructs an optimizer matching a snapshot for n parameters
+// and restores it, so recovery can rebuild the exact optimizer from a full
+// checkpoint.
+func FromState(st State, n int) (Optimizer, error) {
+	var o Optimizer
+	switch st.Name {
+	case "adam":
+		o = NewAdam(n, AdamConfig{})
+	case "sgd":
+		cfg := SGDConfig{}
+		if mu, ok := st.Scalars["momentum"]; ok {
+			cfg.Momentum = mu
+		}
+		o = NewSGD(n, cfg)
+	default:
+		return nil, fmt.Errorf("optim: unknown optimizer state %q", st.Name)
+	}
+	if err := o.Restore(st); err != nil {
+		return nil, err
+	}
+	return o, nil
+}
+
+func sqrt32(x float32) float32 { return float32(math.Sqrt(float64(x))) }
+
+// densePool recycles scratch dense vectors used by the sparse steps so hot
+// loops do not allocate per iteration. Optimizers on different workers run
+// concurrently, so the pool is mutex-guarded.
+var densePool = &scratchPool{}
+
+type scratchPool struct {
+	mu   sync.Mutex
+	bufs [][]float32
+}
+
+func (p *scratchPool) get(n int) tensor.Vector {
+	p.mu.Lock()
+	for i := len(p.bufs) - 1; i >= 0; i-- {
+		if cap(p.bufs[i]) >= n {
+			b := p.bufs[i][:n]
+			p.bufs = append(p.bufs[:i], p.bufs[i+1:]...)
+			p.mu.Unlock()
+			for j := range b {
+				b[j] = 0
+			}
+			return b
+		}
+	}
+	p.mu.Unlock()
+	return tensor.New(n)
+}
+
+func (p *scratchPool) put(b tensor.Vector) {
+	p.mu.Lock()
+	if len(p.bufs) < 8 {
+		p.bufs = append(p.bufs, b)
+	}
+	p.mu.Unlock()
+}

@@ -1,0 +1,275 @@
+// Package recovery rebuilds model state from checkpoints (paper §4.1
+// recovery process and the parallel recovery module of §6.1).
+//
+// Two differential semantics are supported, matching the checkpoint kinds:
+//
+//   - KindGradient (LowDiff): each differential carries a (batched)
+//     compressed gradient; recovery restores the optimizer from the full
+//     checkpoint and replays steps. Unbatched replay reproduces the live
+//     state bit-exactly for any optimizer. A batch of b accumulated
+//     gradients is applied as one step: exact for linear rules (plain SGD),
+//     the standard gradient-accumulation approximation for Adam.
+//   - KindStateDelta (Naïve DC / Check-N-Run): differentials are additive
+//     parameter deltas; recovery adds them to the parameters. The optimizer
+//     moments remain those of the full checkpoint.
+//
+// Parallel recovery loads and merges differential checkpoints with a
+// binary reduction tree (the paper's pairwise merging, log n depth) before
+// applying them, cutting the serial chain of load+merge operations.
+package recovery
+
+import (
+	"fmt"
+	"sync"
+
+	"lowdiff/internal/checkpoint"
+	"lowdiff/internal/compress"
+	"lowdiff/internal/optim"
+	"lowdiff/internal/storage"
+	"lowdiff/internal/tensor"
+)
+
+// State is a recovered training state.
+type State struct {
+	Iter   int64 // iterations the state reflects
+	Params tensor.Vector
+	Opt    optim.State
+}
+
+// Options controls recovery.
+type Options struct {
+	// Parallelism bounds concurrent differential loads/merges in
+	// RecoverParallel (default: 4).
+	Parallelism int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Parallelism == 0 {
+		o.Parallelism = 4
+	}
+	return o
+}
+
+// Latest recovers to the newest state reachable in the store: the latest
+// full checkpoint plus the contiguous chain of differentials after it,
+// replayed serially (Alg. 1 recovery process). It returns the recovered
+// state and the number of differential records applied.
+func Latest(store storage.Store) (*State, int, error) {
+	m, err := checkpoint.Scan(store)
+	if err != nil {
+		return nil, 0, err
+	}
+	latest, ok := m.LatestFull()
+	if !ok {
+		return nil, 0, fmt.Errorf("recovery: no full checkpoint in store")
+	}
+	full, err := checkpoint.LoadFull(store, latest.Name)
+	if err != nil {
+		return nil, 0, fmt.Errorf("recovery: load %s: %w", latest.Name, err)
+	}
+	chain := m.DiffsAfter(full.Iter)
+	st, err := replaySerial(store, full, chain)
+	if err != nil {
+		return nil, 0, err
+	}
+	return st, len(chain), nil
+}
+
+// LatestParallel is Latest with the parallel recovery module: differentials
+// are loaded concurrently and merged in a binary tree, then applied.
+func LatestParallel(store storage.Store, opts Options) (*State, int, error) {
+	opts = opts.withDefaults()
+	m, err := checkpoint.Scan(store)
+	if err != nil {
+		return nil, 0, err
+	}
+	latest, ok := m.LatestFull()
+	if !ok {
+		return nil, 0, fmt.Errorf("recovery: no full checkpoint in store")
+	}
+	full, err := checkpoint.LoadFull(store, latest.Name)
+	if err != nil {
+		return nil, 0, fmt.Errorf("recovery: load %s: %w", latest.Name, err)
+	}
+	chain := m.DiffsAfter(full.Iter)
+	st, err := replayParallel(store, full, chain, opts.Parallelism)
+	if err != nil {
+		return nil, 0, err
+	}
+	return st, len(chain), nil
+}
+
+// replaySerial loads each differential in order and applies it.
+func replaySerial(store storage.Store, full *checkpoint.Full, chain []checkpoint.Entry) (*State, error) {
+	params := tensor.Vector(full.Params).Clone()
+	o, err := optim.FromState(full.Opt, len(params))
+	if err != nil {
+		return nil, err
+	}
+	iter := full.Iter
+	for _, e := range chain {
+		d, err := checkpoint.LoadDiff(store, e.Name)
+		if err != nil {
+			return nil, fmt.Errorf("recovery: load %s: %w", e.Name, err)
+		}
+		if err := applyDiff(o, params, d); err != nil {
+			return nil, err
+		}
+		iter = d.LastIter
+	}
+	return &State{Iter: iter, Params: params, Opt: o.Snapshot()}, nil
+}
+
+// replayParallel loads the chain concurrently, tree-merges adjacent
+// same-kind differentials (pairwise, log-depth), and applies the merged
+// results in order.
+func replayParallel(store storage.Store, full *checkpoint.Full, chain []checkpoint.Entry, parallelism int) (*State, error) {
+	if parallelism < 1 {
+		parallelism = 1
+	}
+	diffs := make([]*checkpoint.Diff, len(chain))
+	sem := make(chan struct{}, parallelism)
+	errs := make([]error, len(chain))
+	var wg sync.WaitGroup
+	for i, e := range chain {
+		wg.Add(1)
+		go func(i int, name string) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			d, err := checkpoint.LoadDiff(store, name)
+			if err != nil {
+				errs[i] = fmt.Errorf("recovery: load %s: %w", name, err)
+				return
+			}
+			diffs[i] = d
+		}(i, e.Name)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	merged, err := treeMerge(diffs, parallelism)
+	if err != nil {
+		return nil, err
+	}
+	params := tensor.Vector(full.Params).Clone()
+	o, err := optim.FromState(full.Opt, len(params))
+	if err != nil {
+		return nil, err
+	}
+	iter := full.Iter
+	for _, d := range merged {
+		if err := applyDiff(o, params, d); err != nil {
+			return nil, err
+		}
+		iter = d.LastIter
+	}
+	return &State{Iter: iter, Params: params, Opt: o.Snapshot()}, nil
+}
+
+// treeMerge merges adjacent differentials pairwise until no adjacent pair
+// is mergeable, with each round's merges running concurrently. Two
+// differentials merge when they have the same kind and contiguous ranges.
+// Gradient merging is gradient accumulation; state-delta merging is exact
+// addition.
+func treeMerge(diffs []*checkpoint.Diff, parallelism int) ([]*checkpoint.Diff, error) {
+	cur := diffs
+	for len(cur) > 1 {
+		type job struct{ a, b int } // indices into cur
+		var jobs []job
+		var next []*checkpoint.Diff
+		nextIdx := make([]int, 0, (len(cur)+1)/2)
+		for i := 0; i < len(cur); {
+			if i+1 < len(cur) && cur[i].Kind == cur[i+1].Kind && cur[i].LastIter+1 == cur[i+1].FirstIter {
+				jobs = append(jobs, job{i, i + 1})
+				next = append(next, nil)
+				nextIdx = append(nextIdx, len(next)-1)
+				i += 2
+			} else {
+				next = append(next, cur[i])
+				i++
+			}
+		}
+		if len(jobs) == 0 {
+			return cur, nil
+		}
+		sem := make(chan struct{}, parallelism)
+		errs := make([]error, len(jobs))
+		var wg sync.WaitGroup
+		for j := range jobs {
+			wg.Add(1)
+			go func(j int, a, b *checkpoint.Diff, slot int) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				payload, err := compress.Merge(a.Payload, b.Payload)
+				if err != nil {
+					errs[j] = err
+					return
+				}
+				next[slot] = &checkpoint.Diff{
+					Kind:      a.Kind,
+					FirstIter: a.FirstIter,
+					LastIter:  b.LastIter,
+					Count:     a.Count + b.Count,
+					Payload:   payload,
+				}
+			}(j, cur[jobs[j].a], cur[jobs[j].b], nextIdx[j])
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+		cur = next
+	}
+	return cur, nil
+}
+
+// applyDiff applies one differential checkpoint to (o, params).
+func applyDiff(o optim.Optimizer, params tensor.Vector, d *checkpoint.Diff) error {
+	if err := d.Validate(); err != nil {
+		return err
+	}
+	switch d.Kind {
+	case checkpoint.KindGradient:
+		c := d.Payload
+		if c.Idx != nil {
+			return o.StepSparse(params, c.Idx, c.Vals)
+		}
+		if len(c.Q) > 0 {
+			dense := tensor.New(c.N)
+			if err := c.Decompress(dense); err != nil {
+				return err
+			}
+			return o.Step(params, dense)
+		}
+		return o.Step(params, c.Vals)
+	case checkpoint.KindStateDelta:
+		return d.Payload.AddInto(params)
+	default:
+		return fmt.Errorf("recovery: unknown diff kind %v", d.Kind)
+	}
+}
+
+// Replay applies an explicit list of differentials to a full checkpoint
+// (building block for custom recovery flows and tests).
+func Replay(full *checkpoint.Full, diffs []*checkpoint.Diff) (*State, error) {
+	params := tensor.Vector(full.Params).Clone()
+	o, err := optim.FromState(full.Opt, len(params))
+	if err != nil {
+		return nil, err
+	}
+	iter := full.Iter
+	for _, d := range diffs {
+		if err := applyDiff(o, params, d); err != nil {
+			return nil, err
+		}
+		iter = d.LastIter
+	}
+	return &State{Iter: iter, Params: params, Opt: o.Snapshot()}, nil
+}

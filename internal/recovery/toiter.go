@@ -1,0 +1,57 @@
+package recovery
+
+import (
+	"fmt"
+
+	"lowdiff/internal/checkpoint"
+	"lowdiff/internal/storage"
+)
+
+// ToIter recovers the newest restorable state at or before the target
+// iteration: the newest full checkpoint with Iter <= target plus the
+// contiguous differential chain up to (not past) target. Batched
+// differentials cannot be split, so the result may stop at the last batch
+// boundary before target; the returned state's Iter says where it landed.
+//
+// This serves point-in-time restores — rolling back past a bad data batch
+// or a loss spike — which differential checkpointing makes cheap: any
+// iteration between full checkpoints is reachable, not just the sparse
+// full-checkpoint grid.
+func ToIter(store storage.Store, target int64) (*State, int, error) {
+	if target < 0 {
+		return nil, 0, fmt.Errorf("recovery: negative target iteration %d", target)
+	}
+	m, err := checkpoint.Scan(store)
+	if err != nil {
+		return nil, 0, err
+	}
+	// Newest full at or before target.
+	var base *checkpoint.Entry
+	for i := range m.Fulls {
+		if m.Fulls[i].Iter <= target {
+			base = &m.Fulls[i]
+		}
+	}
+	if base == nil {
+		return nil, 0, fmt.Errorf("recovery: no full checkpoint at or before iteration %d", target)
+	}
+	full, err := checkpoint.LoadFull(store, base.Name)
+	if err != nil {
+		return nil, 0, fmt.Errorf("recovery: load %s: %w", base.Name, err)
+	}
+	chain := m.DiffsAfter(full.Iter)
+	// Truncate the chain at the target; a batch straddling the target is
+	// dropped entirely (it cannot be partially applied).
+	cut := 0
+	for _, d := range chain {
+		if d.LastIter > target {
+			break
+		}
+		cut++
+	}
+	st, err := replaySerial(store, full, chain[:cut])
+	if err != nil {
+		return nil, 0, err
+	}
+	return st, cut, nil
+}

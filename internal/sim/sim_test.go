@@ -1,0 +1,200 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"lowdiff/internal/tensor"
+)
+
+func TestEventOrdering(t *testing.T) {
+	s := New()
+	var order []int
+	_ = s.At(3, func() { order = append(order, 3) })
+	_ = s.At(1, func() { order = append(order, 1) })
+	_ = s.At(2, func() { order = append(order, 2) })
+	end := s.Run()
+	if end != 3 {
+		t.Fatalf("final time = %v", end)
+	}
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestSimultaneousEventsFIFO(t *testing.T) {
+	s := New()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		_ = s.At(5, func() { order = append(order, i) })
+	}
+	s.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-time events ran out of scheduling order: %v", order)
+		}
+	}
+}
+
+func TestScheduleInPastRejected(t *testing.T) {
+	s := New()
+	_ = s.At(10, func() {})
+	s.Run()
+	if err := s.At(5, func() {}); err == nil {
+		t.Fatal("want error scheduling in the past")
+	}
+	if err := s.After(-1, func() {}); err == nil {
+		t.Fatal("want negative-delay error")
+	}
+	if err := s.At(math.NaN(), func() {}); err == nil {
+		t.Fatal("want NaN error")
+	}
+}
+
+func TestEventsCanSchedule(t *testing.T) {
+	s := New()
+	var fired []float64
+	_ = s.At(1, func() {
+		fired = append(fired, s.Now())
+		_ = s.After(2, func() { fired = append(fired, s.Now()) })
+	})
+	s.Run()
+	if len(fired) != 2 || fired[0] != 1 || fired[1] != 3 {
+		t.Fatalf("fired = %v", fired)
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	s := New()
+	count := 0
+	for i := 1; i <= 5; i++ {
+		_ = s.At(float64(i), func() { count++ })
+	}
+	if err := s.RunUntil(3); err != nil {
+		t.Fatal(err)
+	}
+	if count != 3 {
+		t.Fatalf("ran %d events, want 3", count)
+	}
+	if s.Now() != 3 {
+		t.Fatalf("Now = %v", s.Now())
+	}
+	if s.Pending() != 2 {
+		t.Fatalf("Pending = %d", s.Pending())
+	}
+	if err := s.RunUntil(1); err == nil {
+		t.Fatal("want error for RunUntil in the past")
+	}
+}
+
+func TestResourceSerialQueue(t *testing.T) {
+	r, err := NewResource("ssd", 100) // 100 B/s
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First transfer at t=0: 200 B -> finishes at 2.
+	fin, err := r.Submit(0, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fin != 2 {
+		t.Fatalf("finish = %v, want 2", fin)
+	}
+	// Second submitted at t=1 while busy: starts at 2, 100 B -> 3.
+	fin, _ = r.Submit(1, 100)
+	if fin != 3 {
+		t.Fatalf("finish = %v, want 3", fin)
+	}
+	if got := r.Backlog(1); got != 2 {
+		t.Fatalf("backlog = %v, want 2", got)
+	}
+	// Submitted after idle gap: starts immediately.
+	fin, _ = r.Submit(10, 50)
+	if fin != 10.5 {
+		t.Fatalf("finish = %v, want 10.5", fin)
+	}
+	if r.Backlog(11) != 0 {
+		t.Fatalf("backlog after idle = %v", r.Backlog(11))
+	}
+	if r.BusySeconds() != 3.5 {
+		t.Fatalf("busy = %v, want 3.5", r.BusySeconds())
+	}
+	r.Reset()
+	if r.BusySeconds() != 0 || r.Backlog(0) != 0 {
+		t.Fatal("reset did not clear state")
+	}
+}
+
+func TestResourceValidation(t *testing.T) {
+	if _, err := NewResource("x", 0); err == nil {
+		t.Fatal("want bandwidth error")
+	}
+	r, _ := NewResource("x", 1)
+	if _, err := r.Submit(0, -1); err == nil {
+		t.Fatal("want negative-size error")
+	}
+}
+
+// Property: the simulator is deterministic — same schedule, same trace.
+func TestDeterminismProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		run := func() []float64 {
+			r := tensor.NewRNG(seed)
+			s := New()
+			var trace []float64
+			for i := 0; i < 50; i++ {
+				t := r.Float64() * 100
+				_ = s.At(t, func() { trace = append(trace, s.Now()) })
+			}
+			s.Run()
+			return trace
+		}
+		a, b := run(), run()
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		// Monotone non-decreasing times.
+		for i := 1; i < len(a); i++ {
+			if a[i] < a[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a resource never starts a transfer before submission and keeps
+// FIFO completion order.
+func TestResourceProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := tensor.NewRNG(seed)
+		r, _ := NewResource("x", 1+1000*rng.Float64())
+		now := 0.0
+		prevFin := 0.0
+		for i := 0; i < 100; i++ {
+			now += rng.Float64()
+			fin, err := r.Submit(now, rng.Float64()*1000)
+			if err != nil {
+				return false
+			}
+			if fin < now || fin < prevFin {
+				return false
+			}
+			prevFin = fin
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

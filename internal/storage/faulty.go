@@ -1,0 +1,80 @@
+package storage
+
+import (
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Faulty wraps a store with deterministic fault injection for
+// crash-consistency testing: after a configured number of successful
+// object writes, every subsequent write fails (simulating the process
+// dying mid-checkpoint); reads keep working so recovery can be exercised
+// against whatever survived. Because the underlying stores commit
+// atomically on Close, a failed write leaves no partial object — matching
+// the crash behaviour the checkpoint layer is designed for.
+type Faulty struct {
+	Store
+	mu        sync.Mutex
+	remaining int  // successful writes left before failures begin
+	failed    bool // a write has been rejected
+}
+
+// ErrInjectedFault is returned by writes after the fault point.
+var ErrInjectedFault = fmt.Errorf("storage: injected fault")
+
+// NewFaulty wraps s, allowing writesBeforeFault successful object writes.
+func NewFaulty(s Store, writesBeforeFault int) (*Faulty, error) {
+	if writesBeforeFault < 0 {
+		return nil, fmt.Errorf("storage: writesBeforeFault %d must be >= 0", writesBeforeFault)
+	}
+	return &Faulty{Store: s, remaining: writesBeforeFault}, nil
+}
+
+// Tripped reports whether the fault has been hit.
+func (f *Faulty) Tripped() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.failed
+}
+
+type faultyWriter struct {
+	io.WriteCloser
+	doomed bool
+}
+
+func (w *faultyWriter) Write(p []byte) (int, error) {
+	if w.doomed {
+		return 0, ErrInjectedFault
+	}
+	return w.WriteCloser.Write(p)
+}
+
+func (w *faultyWriter) Close() error {
+	if w.doomed {
+		return ErrInjectedFault
+	}
+	return w.WriteCloser.Close()
+}
+
+// Create implements Store.
+func (f *Faulty) Create(name string) (io.WriteCloser, error) {
+	f.mu.Lock()
+	doomed := f.remaining <= 0
+	if doomed {
+		f.failed = true
+	} else {
+		f.remaining--
+	}
+	f.mu.Unlock()
+	if doomed {
+		// The dying process never reaches the device: nothing is created,
+		// nothing becomes visible.
+		return &faultyWriter{doomed: true}, nil
+	}
+	w, err := f.Store.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultyWriter{WriteCloser: w}, nil
+}

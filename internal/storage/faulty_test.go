@@ -1,0 +1,73 @@
+package storage
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestFaultyValidation(t *testing.T) {
+	if _, err := NewFaulty(NewMem(), -1); err == nil {
+		t.Fatal("want negative-budget error")
+	}
+}
+
+func TestFaultyAllowsThenFails(t *testing.T) {
+	f, err := NewFaulty(NewMem(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteObject(f, "a", []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteObject(f, "b", []byte("2")); err != nil {
+		t.Fatal(err)
+	}
+	if f.Tripped() {
+		t.Fatal("fault tripped too early")
+	}
+	err = WriteObject(f, "c", []byte("3"))
+	if !errors.Is(err, ErrInjectedFault) {
+		t.Fatalf("third write error = %v, want injected fault", err)
+	}
+	if !f.Tripped() {
+		t.Fatal("Tripped should report the fault")
+	}
+	// The failed object must not exist, not even empty.
+	if _, err := f.Open("c"); !IsNotExist(err) {
+		t.Fatalf("failed write left an object: %v", err)
+	}
+	names, _ := f.List("")
+	if len(names) != 2 {
+		t.Fatalf("store holds %v", names)
+	}
+	// Reads keep working after the fault.
+	data, err := ReadObject(f, "a")
+	if err != nil || string(data) != "1" {
+		t.Fatalf("read after fault: %q, %v", data, err)
+	}
+	// Further writes keep failing.
+	if err := WriteObject(f, "d", []byte("4")); !errors.Is(err, ErrInjectedFault) {
+		t.Fatalf("fourth write error = %v", err)
+	}
+}
+
+func TestFaultyZeroBudgetFailsImmediately(t *testing.T) {
+	f, _ := NewFaulty(NewMem(), 0)
+	if err := WriteObject(f, "a", []byte("1")); !errors.Is(err, ErrInjectedFault) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestFaultyDoomedWriterBothOpsFail(t *testing.T) {
+	f, _ := NewFaulty(NewMem(), 0)
+	w, err := f.Create("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Write([]byte("y")); !errors.Is(err, ErrInjectedFault) {
+		t.Fatalf("write err = %v", err)
+	}
+	if err := w.Close(); !errors.Is(err, ErrInjectedFault) {
+		t.Fatalf("close err = %v", err)
+	}
+}

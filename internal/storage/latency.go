@@ -1,0 +1,57 @@
+package storage
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+	"time"
+)
+
+// Latency wraps a store with a fixed per-operation latency on top of the
+// wrapped store's own behaviour, modelling remote checkpoint storage (the
+// paper persists "to local or remote storage"): every Create/Open/Delete
+// pays a round trip. Compose with Throttled for a bandwidth-limited remote:
+//
+//	remote, _ := storage.NewLatency(throttled, 2*time.Millisecond)
+type Latency struct {
+	Store
+	rtt   time.Duration
+	sleep func(time.Duration) // test seam
+	ops   atomic.Int64
+}
+
+// NewLatency wraps s with a per-operation round-trip time.
+func NewLatency(s Store, rtt time.Duration) (*Latency, error) {
+	if rtt < 0 {
+		return nil, fmt.Errorf("storage: negative latency %v", rtt)
+	}
+	return &Latency{Store: s, rtt: rtt, sleep: time.Sleep}, nil
+}
+
+// Ops returns the number of latency-charged operations.
+func (l *Latency) Ops() int64 { return l.ops.Load() }
+
+func (l *Latency) charge() {
+	l.ops.Add(1)
+	if l.rtt > 0 {
+		l.sleep(l.rtt)
+	}
+}
+
+// Create implements Store.
+func (l *Latency) Create(name string) (io.WriteCloser, error) {
+	l.charge()
+	return l.Store.Create(name)
+}
+
+// Open implements Store.
+func (l *Latency) Open(name string) (io.ReadCloser, error) {
+	l.charge()
+	return l.Store.Open(name)
+}
+
+// Delete implements Store.
+func (l *Latency) Delete(name string) error {
+	l.charge()
+	return l.Store.Delete(name)
+}

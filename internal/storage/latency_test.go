@@ -1,0 +1,62 @@
+package storage
+
+import (
+	"testing"
+	"time"
+)
+
+func TestLatencyValidation(t *testing.T) {
+	if _, err := NewLatency(NewMem(), -time.Millisecond); err == nil {
+		t.Fatal("want negative-latency error")
+	}
+}
+
+func TestLatencyChargesPerOperation(t *testing.T) {
+	var slept time.Duration
+	l, err := NewLatency(NewMem(), 5*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.sleep = func(d time.Duration) { slept += d }
+	if err := WriteObject(l, "a", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadObject(l, "a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Delete("a"); err != nil {
+		t.Fatal(err)
+	}
+	if l.Ops() != 3 {
+		t.Fatalf("ops = %d, want 3", l.Ops())
+	}
+	if slept != 15*time.Millisecond {
+		t.Fatalf("slept %v, want 15ms", slept)
+	}
+	// List and Size pass through without latency (metadata is cached in
+	// real systems).
+	if _, err := l.List(""); err != nil {
+		t.Fatal(err)
+	}
+	if l.Ops() != 3 {
+		t.Fatal("List should not charge latency")
+	}
+}
+
+func TestLatencyComposesWithThrottled(t *testing.T) {
+	th, err := NewThrottled(NewMem(), 1e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := NewLatency(th, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteObject(l, "a", make([]byte, 100)); err != nil {
+		t.Fatal(err)
+	}
+	data, err := ReadObject(l, "a")
+	if err != nil || len(data) != 100 {
+		t.Fatalf("read %d bytes, %v", len(data), err)
+	}
+}

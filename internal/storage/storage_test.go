@@ -1,0 +1,325 @@
+package storage
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"testing"
+	"time"
+)
+
+// storeUnderTest runs the shared Store contract tests against each
+// implementation.
+func stores(t *testing.T) map[string]Store {
+	t.Helper()
+	file, err := NewFile(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	throttled, err := NewThrottled(NewMem(), 1e12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]Store{
+		"mem":       NewMem(),
+		"file":      file,
+		"throttled": throttled,
+		"stats":     NewStats(NewMem()),
+	}
+}
+
+func TestStoreContract(t *testing.T) {
+	for name, s := range stores(t) {
+		t.Run(name, func(t *testing.T) {
+			// Write, read back.
+			if err := WriteObject(s, "a-1", []byte("hello")); err != nil {
+				t.Fatal(err)
+			}
+			data, err := ReadObject(s, "a-1")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(data) != "hello" {
+				t.Fatalf("read %q", data)
+			}
+			// Size.
+			n, err := s.Size("a-1")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if n != 5 {
+				t.Fatalf("size = %d, want 5", n)
+			}
+			// Overwrite is atomic replacement.
+			if err := WriteObject(s, "a-1", []byte("world!")); err != nil {
+				t.Fatal(err)
+			}
+			data, _ = ReadObject(s, "a-1")
+			if string(data) != "world!" {
+				t.Fatalf("after overwrite read %q", data)
+			}
+			// List with prefix, sorted.
+			if err := WriteObject(s, "a-2", []byte("x")); err != nil {
+				t.Fatal(err)
+			}
+			if err := WriteObject(s, "b-1", []byte("y")); err != nil {
+				t.Fatal(err)
+			}
+			names, err := s.List("a-")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(names) != 2 || names[0] != "a-1" || names[1] != "a-2" {
+				t.Fatalf("List(a-) = %v", names)
+			}
+			all, _ := s.List("")
+			if len(all) != 3 {
+				t.Fatalf("List() = %v", all)
+			}
+			// Missing objects.
+			if _, err := s.Open("missing"); !IsNotExist(err) {
+				t.Fatalf("Open(missing) err = %v", err)
+			}
+			if _, err := s.Size("missing"); !IsNotExist(err) {
+				t.Fatalf("Size(missing) err = %v", err)
+			}
+			if err := s.Delete("missing"); !IsNotExist(err) {
+				t.Fatalf("Delete(missing) err = %v", err)
+			}
+			// Delete.
+			if err := s.Delete("a-2"); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := s.Open("a-2"); !IsNotExist(err) {
+				t.Fatal("deleted object still readable")
+			}
+		})
+	}
+}
+
+func TestObjectInvisibleUntilClose(t *testing.T) {
+	for name, s := range stores(t) {
+		t.Run(name, func(t *testing.T) {
+			w, err := s.Create("pending")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := w.Write([]byte("partial")); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := s.Open("pending"); !IsNotExist(err) {
+				t.Fatal("object visible before Close")
+			}
+			names, _ := s.List("")
+			for _, n := range names {
+				if n == "pending" {
+					t.Fatal("pending object listed before Close")
+				}
+			}
+			if err := w.Close(); err != nil {
+				t.Fatal(err)
+			}
+			data, err := ReadObject(s, "pending")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(data) != "partial" {
+				t.Fatalf("read %q", data)
+			}
+		})
+	}
+}
+
+func TestMemIsolation(t *testing.T) {
+	m := NewMem()
+	src := []byte("abc")
+	if err := WriteObject(m, "x", src); err != nil {
+		t.Fatal(err)
+	}
+	src[0] = 'z'
+	data, _ := ReadObject(m, "x")
+	if string(data) != "abc" {
+		t.Fatal("store aliases caller buffer")
+	}
+	if m.TotalBytes() != 3 {
+		t.Fatalf("TotalBytes = %d", m.TotalBytes())
+	}
+}
+
+func TestFileRejectsBadNames(t *testing.T) {
+	f, err := NewFile(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []string{"", "a/b", `a\b`, ".", ".."} {
+		if _, err := f.Create(bad); err == nil {
+			t.Errorf("Create(%q): want error", bad)
+		}
+		if _, err := f.Open(bad); err == nil {
+			t.Errorf("Open(%q): want error", bad)
+		}
+	}
+}
+
+func TestMemRejectsEmptyName(t *testing.T) {
+	if _, err := NewMem().Create(""); err == nil {
+		t.Fatal("want empty-name error")
+	}
+}
+
+func TestMemWriterAfterClose(t *testing.T) {
+	m := NewMem()
+	w, _ := m.Create("x")
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Write([]byte("y")); err == nil {
+		t.Fatal("want write-after-close error")
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal("double close should be a no-op")
+	}
+}
+
+func TestThrottledCharges(t *testing.T) {
+	var slept time.Duration
+	th, err := NewThrottled(NewMem(), 1000) // 1000 B/s
+	if err != nil {
+		t.Fatal(err)
+	}
+	th.sleep = func(d time.Duration) { slept += d }
+	if err := WriteObject(th, "x", make([]byte, 500)); err != nil {
+		t.Fatal(err)
+	}
+	// 500 bytes at 1000 B/s = 500 ms.
+	if slept < 490*time.Millisecond || slept > 510*time.Millisecond {
+		t.Fatalf("slept %v, want ~500ms", slept)
+	}
+	if th.ThrottledNanos() != int64(slept) {
+		t.Fatalf("ThrottledNanos = %d, want %d", th.ThrottledNanos(), int64(slept))
+	}
+}
+
+func TestThrottledBatchesSmallWrites(t *testing.T) {
+	var calls int
+	th, _ := NewThrottled(NewMem(), 1e6)
+	th.sleep = func(time.Duration) { calls++ }
+	w, _ := th.Create("x")
+	for i := 0; i < 100; i++ {
+		if _, err := w.Write(make([]byte, 1)); err != nil { // 1 µs each, below 1 ms
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 0 {
+		t.Fatalf("sub-millisecond debts should batch; slept %d times", calls)
+	}
+}
+
+func TestThrottledValidation(t *testing.T) {
+	if _, err := NewThrottled(NewMem(), 0); err == nil {
+		t.Fatal("want bandwidth error")
+	}
+	if _, err := NewThrottled(NewMem(), -5); err == nil {
+		t.Fatal("want bandwidth error")
+	}
+}
+
+func TestStatsCounts(t *testing.T) {
+	st := NewStats(NewMem())
+	if err := WriteObject(st, "a", make([]byte, 100)); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteObject(st, "b", make([]byte, 50)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadObject(st, "a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Delete("b"); err != nil {
+		t.Fatal(err)
+	}
+	if st.Writes() != 2 || st.WrittenBytes() != 150 {
+		t.Fatalf("writes=%d bytes=%d", st.Writes(), st.WrittenBytes())
+	}
+	if st.Reads() != 1 || st.ReadBytes() != 100 {
+		t.Fatalf("reads=%d bytes=%d", st.Reads(), st.ReadBytes())
+	}
+	if st.Deletes() != 1 {
+		t.Fatalf("deletes=%d", st.Deletes())
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	for name, s := range stores(t) {
+		t.Run(name, func(t *testing.T) {
+			var wg sync.WaitGroup
+			for i := 0; i < 8; i++ {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					for j := 0; j < 20; j++ {
+						obj := fmt.Sprintf("obj-%d-%d", i, j)
+						if err := WriteObject(s, obj, []byte(obj)); err != nil {
+							t.Error(err)
+							return
+						}
+						data, err := ReadObject(s, obj)
+						if err != nil || string(data) != obj {
+							t.Errorf("read back %q: %v", data, err)
+							return
+						}
+					}
+				}(i)
+			}
+			wg.Wait()
+			names, err := s.List("obj-")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(names) != 160 {
+				t.Fatalf("got %d objects, want 160", len(names))
+			}
+		})
+	}
+}
+
+func TestFileSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	f1, err := NewFile(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteObject(f1, "persisted", []byte("data")); err != nil {
+		t.Fatal(err)
+	}
+	f2, err := NewFile(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := ReadObject(f2, "persisted")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "data" {
+		t.Fatalf("read %q", data)
+	}
+}
+
+func TestFileListHidesTemp(t *testing.T) {
+	f, _ := NewFile(t.TempDir())
+	w, _ := f.Create("x")
+	defer w.Close()
+	if _, err := io.WriteString(w, "abc"); err != nil {
+		t.Fatal(err)
+	}
+	names, err := f.List("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 0 {
+		t.Fatalf("temp files leaked into List: %v", names)
+	}
+}

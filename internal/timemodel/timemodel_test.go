@@ -1,0 +1,127 @@
+package timemodel
+
+import (
+	"testing"
+
+	"lowdiff/internal/model"
+)
+
+func TestHardwareValidate(t *testing.T) {
+	for _, h := range []Hardware{A100(), V100()} {
+		if err := h.Validate(); err != nil {
+			t.Errorf("%s: %v", h.Name, err)
+		}
+	}
+	bad := A100()
+	bad.PCIeBps = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("want validation error")
+	}
+}
+
+func TestIterTimeKnownModels(t *testing.T) {
+	a100 := A100()
+	v100 := V100()
+	for _, spec := range model.Registry() {
+		ta := IterTime(spec, a100)
+		tv := IterTime(spec, v100)
+		if ta <= 0 {
+			t.Errorf("%s: non-positive iteration time", spec.Name)
+		}
+		if tv != ta*2.5 {
+			t.Errorf("%s: V100 time %v, want 2.5x A100 %v", spec.Name, tv, ta)
+		}
+	}
+	// Larger models take longer.
+	gs, _ := model.ByName("GPT2-S")
+	gl, _ := model.ByName("GPT2-L")
+	if IterTime(gl, a100) <= IterTime(gs, a100) {
+		t.Fatal("GPT2-L should be slower than GPT2-S")
+	}
+}
+
+func TestIterTimeFallback(t *testing.T) {
+	tiny := model.Tiny(2, 1_000_000) // unknown to the table
+	tt := IterTime(tiny, A100())
+	if tt <= 0 {
+		t.Fatal("fallback produced non-positive time")
+	}
+	// Proportional to parameter count.
+	bigger := model.Tiny(2, 2_000_000)
+	if IterTime(bigger, A100()) <= tt {
+		t.Fatal("fallback should scale with parameters")
+	}
+}
+
+func TestSizes(t *testing.T) {
+	spec, _ := model.ByName("GPT2-L")
+	psi := float64(spec.NumParams())
+	if got := FullCheckpointBytes(spec); got != 12*psi {
+		t.Fatalf("full = %v, want 12Ψ", got)
+	}
+	if got := ParamBytes(spec); got != 4*psi {
+		t.Fatalf("params = %v, want 4Ψ", got)
+	}
+	// Paper's Exp. 7 ratios: Naive DC ~2/3 of full, LowDiff tiny.
+	full := FullCheckpointBytes(spec)
+	naive := NaiveDCBytes(spec, 0.01)
+	ld := LowDiffDiffBytes(spec, 0.01, 8)
+	if r := naive / full; r < 0.6 || r > 0.72 {
+		t.Fatalf("NaiveDC/full = %v, want ~0.66", r)
+	}
+	if r := ld / full; r > 0.07 {
+		t.Fatalf("LowDiff/full = %v, want << 0.1", r)
+	}
+}
+
+func TestCompressedGradUnionClamps(t *testing.T) {
+	spec := model.Tiny(1, 1000)
+	// Union factor saturates at 3 and never exceeds the dense size.
+	one := CompressedGradBytes(spec, 0.1, 1)
+	three := CompressedGradBytes(spec, 0.1, 3)
+	eight := CompressedGradBytes(spec, 0.1, 8)
+	if three != eight {
+		t.Fatalf("union should saturate: %v vs %v", three, eight)
+	}
+	if d := three - 3*one; d > 1e-9 || d < -1e-9 {
+		t.Fatalf("union at 3 workers should triple: %v vs %v", three, one)
+	}
+	if got := CompressedGradBytes(spec, 1, 8); got != 8*1000 {
+		t.Fatalf("clamped size = %v, want full 8000", got)
+	}
+}
+
+func TestTransferPrimitives(t *testing.T) {
+	h := A100()
+	if got := h.D2HTime(24e9); got != 1 {
+		t.Fatalf("D2H = %v, want 1s", got)
+	}
+	if got := h.NetTime(3.125e9); got != 1 {
+		t.Fatalf("net = %v, want 1s", got)
+	}
+	if got := h.SSDWriteTime(1.4e9); got != 1 {
+		t.Fatalf("ssd write = %v, want 1s", got)
+	}
+	if got := h.SSDReadTime(12e9); got != 1 {
+		t.Fatalf("ssd read = %v, want 1s", got)
+	}
+	if got := h.CompressTime(31e9); got != 1 {
+		t.Fatalf("compress = %v, want 1s", got)
+	}
+	if got := h.SerializeTime(2e9); got != 1 {
+		t.Fatalf("serialize = %v, want 1s", got)
+	}
+}
+
+func TestRingAllReduceTime(t *testing.T) {
+	h := A100()
+	if got := h.RingAllReduceTime(1e9, 1); got != 0 {
+		t.Fatalf("single worker should not communicate: %v", got)
+	}
+	// 2(n-1)/n factor: n=2 -> 1x bytes, n=8 -> 1.75x bytes.
+	t2 := h.RingAllReduceTime(1e9, 2)
+	t8 := h.RingAllReduceTime(1e9, 8)
+	if t8/t2 < 1.74 || t8/t2 > 1.76 {
+		t.Fatalf("ring scaling = %v, want 1.75", t8/t2)
+	}
+}

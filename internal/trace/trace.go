@@ -1,0 +1,169 @@
+// Package trace records execution timelines of the functional engines —
+// iteration compute, gradient sync, queue hand-offs, batched writes, full
+// snapshots — and exports them in the Chrome trace-event JSON format
+// (load in chrome://tracing or https://ui.perfetto.dev) so the overlap
+// behaviour the paper argues about is directly visible.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Event is one completed span on a named track.
+type Event struct {
+	Track string        // e.g. "train", "checkpoint", "persist"
+	Name  string        // e.g. "iteration", "sync", "diff-write"
+	Start time.Duration // offset from the recorder's epoch
+	Dur   time.Duration
+	Args  map[string]interface{} // optional details (iteration, bytes, ...)
+}
+
+// Recorder collects events concurrently. The zero value is not usable;
+// call New. A nil *Recorder is safe to use and records nothing, so
+// instrumented code does not need nil checks.
+type Recorder struct {
+	mu     sync.Mutex
+	epoch  time.Time
+	events []Event
+}
+
+// New returns an empty recorder whose clock starts now.
+func New() *Recorder {
+	return &Recorder{epoch: time.Now()}
+}
+
+// Span records a completed span that started at start and ended now.
+func (r *Recorder) Span(track, name string, start time.Time, args map[string]interface{}) {
+	if r == nil {
+		return
+	}
+	now := time.Now()
+	r.mu.Lock()
+	r.events = append(r.events, Event{
+		Track: track,
+		Name:  name,
+		Start: start.Sub(r.epoch),
+		Dur:   now.Sub(start),
+		Args:  args,
+	})
+	r.mu.Unlock()
+}
+
+// Begin returns a closure that completes the span when called; it makes
+// call sites one line: defer rec.Begin("train", "iteration", args)().
+func (r *Recorder) Begin(track, name string, args map[string]interface{}) func() {
+	if r == nil {
+		return func() {}
+	}
+	start := time.Now()
+	return func() { r.Span(track, name, start, args) }
+}
+
+// Events returns a copy of the recorded events sorted by start time.
+func (r *Recorder) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	out := append([]Event(nil), r.events...)
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	return out
+}
+
+// Len returns the number of recorded events.
+func (r *Recorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.events)
+}
+
+// TrackTotals sums span durations per track.
+func (r *Recorder) TrackTotals() map[string]time.Duration {
+	totals := map[string]time.Duration{}
+	for _, e := range r.Events() {
+		totals[e.Track] += e.Dur
+	}
+	return totals
+}
+
+// chromeEvent is the trace-event JSON shape ("X" = complete event).
+type chromeEvent struct {
+	Name string                 `json:"name"`
+	Cat  string                 `json:"cat"`
+	Ph   string                 `json:"ph"`
+	TS   int64                  `json:"ts"`  // microseconds
+	Dur  int64                  `json:"dur"` // microseconds
+	PID  int                    `json:"pid"`
+	TID  int                    `json:"tid"`
+	Args map[string]interface{} `json:"args,omitempty"`
+}
+
+// WriteChromeTrace writes the events as a Chrome trace-event JSON array.
+// Tracks map to thread IDs so each renders as its own row.
+func (r *Recorder) WriteChromeTrace(w io.Writer) error {
+	events := r.Events()
+	trackIDs := map[string]int{}
+	var ordered []string
+	for _, e := range events {
+		if _, ok := trackIDs[e.Track]; !ok {
+			trackIDs[e.Track] = len(trackIDs) + 1
+			ordered = append(ordered, e.Track)
+		}
+	}
+	out := make([]chromeEvent, 0, len(events)+len(ordered))
+	// Thread-name metadata rows keep track names visible in the viewer.
+	for _, track := range ordered {
+		out = append(out, chromeEvent{
+			Name: "thread_name", Ph: "M", PID: 1, TID: trackIDs[track],
+			Args: map[string]interface{}{"name": track},
+		})
+	}
+	for _, e := range events {
+		out = append(out, chromeEvent{
+			Name: e.Name,
+			Cat:  e.Track,
+			Ph:   "X",
+			TS:   e.Start.Microseconds(),
+			Dur:  maxI64(1, e.Dur.Microseconds()),
+			PID:  1,
+			TID:  trackIDs[e.Track],
+			Args: e.Args,
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+// Summary renders per-track totals for logs.
+func (r *Recorder) Summary() string {
+	totals := r.TrackTotals()
+	tracks := make([]string, 0, len(totals))
+	for t := range totals {
+		tracks = append(tracks, t)
+	}
+	sort.Strings(tracks)
+	s := ""
+	for _, t := range tracks {
+		if s != "" {
+			s += ", "
+		}
+		s += fmt.Sprintf("%s=%s", t, totals[t].Round(time.Microsecond))
+	}
+	return s
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,123 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilRecorderSafe(t *testing.T) {
+	var r *Recorder
+	r.Span("a", "b", time.Now(), nil)
+	r.Begin("a", "b", nil)()
+	if r.Len() != 0 || r.Events() != nil {
+		t.Fatal("nil recorder should record nothing")
+	}
+}
+
+func TestSpanAndEventsSorted(t *testing.T) {
+	r := New()
+	s1 := time.Now()
+	time.Sleep(time.Millisecond)
+	s2 := time.Now()
+	// Record out of order.
+	r.Span("train", "second", s2, map[string]interface{}{"iter": 2})
+	r.Span("train", "first", s1, nil)
+	events := r.Events()
+	if len(events) != 2 {
+		t.Fatalf("got %d events", len(events))
+	}
+	if events[0].Name != "first" || events[1].Name != "second" {
+		t.Fatalf("events not sorted by start: %v", events)
+	}
+	if events[1].Args["iter"] != 2 {
+		t.Fatalf("args lost: %v", events[1].Args)
+	}
+	if events[0].Dur <= 0 {
+		t.Fatal("non-positive duration")
+	}
+}
+
+func TestBeginClosure(t *testing.T) {
+	r := New()
+	done := r.Begin("ckpt", "write", map[string]interface{}{"bytes": 42})
+	time.Sleep(2 * time.Millisecond)
+	done()
+	events := r.Events()
+	if len(events) != 1 || events[0].Dur < time.Millisecond {
+		t.Fatalf("events = %v", events)
+	}
+}
+
+func TestConcurrentRecording(t *testing.T) {
+	r := New()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				r.Span("t", "e", time.Now(), nil)
+			}
+		}()
+	}
+	wg.Wait()
+	if r.Len() != 800 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+}
+
+func TestTrackTotalsAndSummary(t *testing.T) {
+	r := New()
+	start := time.Now().Add(-10 * time.Millisecond)
+	r.Span("train", "it", start, nil)
+	r.Span("ckpt", "w", start, nil)
+	totals := r.TrackTotals()
+	if totals["train"] < 9*time.Millisecond || totals["ckpt"] < 9*time.Millisecond {
+		t.Fatalf("totals = %v", totals)
+	}
+	if s := r.Summary(); s == "" {
+		t.Fatal("empty summary")
+	}
+}
+
+func TestWriteChromeTrace(t *testing.T) {
+	r := New()
+	start := time.Now().Add(-time.Millisecond)
+	r.Span("train", "iteration", start, map[string]interface{}{"iter": 7})
+	r.Span("checkpoint", "diff-write", start, nil)
+	var buf bytes.Buffer
+	if err := r.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded []map[string]interface{}
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	// 2 metadata rows + 2 events.
+	if len(decoded) != 4 {
+		t.Fatalf("got %d rows", len(decoded))
+	}
+	var meta, complete int
+	tids := map[float64]bool{}
+	for _, row := range decoded {
+		switch row["ph"] {
+		case "M":
+			meta++
+		case "X":
+			complete++
+			tids[row["tid"].(float64)] = true
+			if row["dur"].(float64) < 1 {
+				t.Fatal("duration clamped below 1us")
+			}
+		}
+	}
+	if meta != 2 || complete != 2 {
+		t.Fatalf("meta=%d complete=%d", meta, complete)
+	}
+	if len(tids) != 2 {
+		t.Fatal("tracks should map to distinct thread IDs")
+	}
+}

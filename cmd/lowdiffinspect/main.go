@@ -4,6 +4,7 @@
 //
 //	lowdiffinspect -dir /tmp/ckpts
 //	lowdiffinspect -dir /tmp/ckpts -v     # decode every record
+//	lowdiffinspect verify -dir /tmp/ckpts # CRC-check every object
 package main
 
 import (
@@ -17,6 +18,10 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "verify" {
+		runVerify(os.Args[2:])
+		return
+	}
 	dir := flag.String("dir", "", "checkpoint directory")
 	verbose := flag.Bool("v", false, "decode and describe every record")
 	compact := flag.Bool("compact", false, "fold the differential chain into a fresh full checkpoint and GC")
@@ -84,6 +89,47 @@ func main() {
 			last, latest.Iter, len(chain))
 	} else {
 		fmt.Println("no full checkpoint: nothing recoverable")
+	}
+}
+
+// runVerify CRC-checks every checkpoint object and reports per-chain
+// validity: which objects are damaged, where recovery would anchor, and
+// how far it would reach. Exits 1 when any object fails verification.
+func runVerify(args []string) {
+	fs := flag.NewFlagSet("verify", flag.ExitOnError)
+	dir := fs.String("dir", "", "checkpoint directory")
+	retries := fs.Int("retries", 3, "load attempts per object (absorbs transient read faults)")
+	fs.Parse(args)
+	if *dir == "" {
+		fs.Usage()
+		os.Exit(2)
+	}
+	store, err := storage.NewFile(*dir)
+	if err != nil {
+		fatal(err)
+	}
+	report, err := recovery.Verify(store, recovery.ValidateOptions{LoadRetries: *retries})
+	if err != nil {
+		fatal(err)
+	}
+	for _, o := range report.Objects {
+		fmt.Printf("  %-40s %s", o.Name, o.Status)
+		if o.Err != nil {
+			fmt.Printf("  (%v)", o.Err)
+		}
+		fmt.Println()
+	}
+	valid, corrupt, missing := report.Counts()
+	fmt.Printf("%d objects: %d valid, %d corrupt, %d missing\n",
+		len(report.Objects), valid, corrupt, missing)
+	if report.BaseIter < 0 {
+		fmt.Println("no valid full checkpoint: nothing recoverable")
+		os.Exit(1)
+	}
+	fmt.Printf("recoverable to iteration %d (anchored on %s at iteration %d)\n",
+		report.RecoverableIter, report.BaseName, report.BaseIter)
+	if !report.Clean() {
+		os.Exit(1)
 	}
 }
 

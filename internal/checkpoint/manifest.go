@@ -32,19 +32,46 @@ type Entry struct {
 	LastIter  int64
 }
 
-// ParseName parses a canonical checkpoint object name.
+// parseIter parses one all-digit iteration field. At most 18 digits keeps
+// the value far from int64 overflow (canonical names pad to 12).
+func parseIter(s string) (int64, bool) {
+	if len(s) == 0 || len(s) > 18 {
+		return 0, false
+	}
+	var n int64
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		n = n*10 + int64(c-'0')
+	}
+	return n, true
+}
+
+// ParseName parses a canonical checkpoint object name. Parsing is strict:
+// a name is accepted only when re-deriving it from the parsed iterations
+// reproduces it byte for byte, so signs, spaces, stray padding, and
+// trailing junk (e.g. "full-7.ckpt.ckpt") are all rejected rather than
+// silently admitted into the manifest.
 func ParseName(name string) (Entry, error) {
 	switch {
 	case strings.HasPrefix(name, "full-") && strings.HasSuffix(name, ".ckpt"):
-		var iter int64
-		if _, err := fmt.Sscanf(name, "full-%d.ckpt", &iter); err != nil {
-			return Entry{}, fmt.Errorf("checkpoint: malformed full name %q: %w", name, err)
+		iter, ok := parseIter(name[len("full-") : len(name)-len(".ckpt")])
+		if !ok || FullName(iter) != name {
+			return Entry{}, fmt.Errorf("checkpoint: malformed full name %q", name)
 		}
 		return Entry{Name: name, IsFull: true, Iter: iter}, nil
 	case strings.HasPrefix(name, "diff-") && strings.HasSuffix(name, ".ckpt"):
-		var first, last int64
-		if _, err := fmt.Sscanf(name, "diff-%d-%d.ckpt", &first, &last); err != nil {
-			return Entry{}, fmt.Errorf("checkpoint: malformed diff name %q: %w", name, err)
+		fields := name[len("diff-") : len(name)-len(".ckpt")]
+		fs, ls, found := strings.Cut(fields, "-")
+		if !found {
+			return Entry{}, fmt.Errorf("checkpoint: malformed diff name %q", name)
+		}
+		first, ok1 := parseIter(fs)
+		last, ok2 := parseIter(ls)
+		if !ok1 || !ok2 || DiffName(first, last) != name {
+			return Entry{}, fmt.Errorf("checkpoint: malformed diff name %q", name)
 		}
 		if first > last {
 			return Entry{}, fmt.Errorf("checkpoint: diff name %q has inverted range", name)

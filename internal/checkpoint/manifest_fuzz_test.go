@@ -1,0 +1,82 @@
+package checkpoint
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseName hardens manifest-name parsing against arbitrary store
+// listings: no panics, and everything accepted must be a canonical name
+// that round-trips to an identical entry. Store directories can hold
+// anything (quarantined objects, temp files, operator droppings), so the
+// parser is the gate deciding what enters the recovery manifest.
+func FuzzParseName(f *testing.F) {
+	f.Add("full-000000000042.ckpt")
+	f.Add("diff-000000000043-000000000046.ckpt")
+	f.Add("full-7.ckpt.ckpt")
+	f.Add("full--00000000001.ckpt")
+	f.Add("diff-000000000009-000000000007.ckpt")
+	f.Add("diff-000000000001-000000000002-000000000003.ckpt")
+	f.Add("quarantined-full-000000000042.ckpt")
+	f.Add("full-999999999999999999999999.ckpt")
+	f.Add("full- 00000000042.ckpt")
+	f.Add("")
+
+	f.Fuzz(func(t *testing.T, name string) {
+		e, err := ParseName(name)
+		if err != nil {
+			return
+		}
+		// Accepted names are canonical: deriving the name back from the
+		// parsed iterations reproduces the input exactly.
+		if e.Name != name {
+			t.Fatalf("entry name %q != input %q", e.Name, name)
+		}
+		if e.IsFull {
+			if e.Iter < 0 || FullName(e.Iter) != name {
+				t.Fatalf("accepted non-canonical full name %q (iter %d)", name, e.Iter)
+			}
+		} else {
+			if e.FirstIter < 0 || e.FirstIter > e.LastIter || DiffName(e.FirstIter, e.LastIter) != name {
+				t.Fatalf("accepted non-canonical diff name %q [%d..%d]", name, e.FirstIter, e.LastIter)
+			}
+		}
+		// Re-parsing must be stable.
+		again, err := ParseName(name)
+		if err != nil || again != e {
+			t.Fatalf("re-parse of %q diverged: %+v vs %+v (%v)", name, again, e, err)
+		}
+		// Quarantined names must never be mistaken for live checkpoints.
+		if strings.HasPrefix(name, "quarantined-") {
+			t.Fatalf("quarantined object %q entered the manifest", name)
+		}
+	})
+}
+
+// FuzzNameRoundTrip checks the generator side: every name the package can
+// emit for non-negative iterations parses back to the same iterations.
+func FuzzNameRoundTrip(f *testing.F) {
+	f.Add(int64(0), int64(0))
+	f.Add(int64(42), int64(46))
+	f.Add(int64(999999999999), int64(1000000000000))
+
+	f.Fuzz(func(t *testing.T, a, b int64) {
+		if a < 0 {
+			a = -(a + 1)
+		}
+		if b < 0 {
+			b = -(b + 1)
+		}
+		if b < a {
+			a, b = b, a
+		}
+		e, err := ParseName(FullName(a))
+		if err != nil || !e.IsFull || e.Iter != a {
+			t.Fatalf("FullName(%d) round trip: %+v, %v", a, e, err)
+		}
+		e, err = ParseName(DiffName(a, b))
+		if err != nil || e.IsFull || e.FirstIter != a || e.LastIter != b {
+			t.Fatalf("DiffName(%d,%d) round trip: %+v, %v", a, b, e, err)
+		}
+	})
+}

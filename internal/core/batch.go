@@ -29,6 +29,12 @@ type BatchedWriter struct {
 	firstIter int64
 	lastIter  int64
 
+	// Retry, when non-nil, wraps each store write in the retry policy;
+	// OnRetry (may be nil) observes every retried attempt. Set both
+	// before the first Add.
+	Retry   *RetryPolicy
+	OnRetry func(attempt int, err error)
+
 	// Writes counts store writes, Batches full-size flushes, Bytes the
 	// payload bytes persisted; PendingBytes gauges CPU-buffer occupancy
 	// (the memory offloaded from GPU, Exp. 6(b)).
@@ -88,6 +94,15 @@ func (w *BatchedWriter) Cut() error {
 // Pending returns the number of buffered, unflushed gradients.
 func (w *BatchedWriter) Pending() int { return len(w.pending) }
 
+// Drop discards the buffered batch without persisting it. The next Add
+// starts a fresh batch at whatever iteration it carries — used when a
+// persistent write failure makes the open batch unrecoverable and the
+// engine falls back to a full checkpoint as the new chain base.
+func (w *BatchedWriter) Drop() {
+	w.pending = w.pending[:0]
+	w.PendingBytes.Set(0)
+}
+
 func (w *BatchedWriter) flush() error {
 	merged, err := compress.Merge(w.pending...)
 	if err != nil {
@@ -100,7 +115,16 @@ func (w *BatchedWriter) flush() error {
 		Count:     int32(len(w.pending)),
 		Payload:   merged,
 	}
-	if _, err := checkpoint.SaveDiff(w.store, d); err != nil {
+	persist := func() error {
+		_, err := checkpoint.SaveDiff(w.store, d)
+		return err
+	}
+	if w.Retry != nil {
+		err = w.Retry.Do(persist, w.OnRetry)
+	} else {
+		err = persist()
+	}
+	if err != nil {
 		return fmt.Errorf("core: batch write: %w", err)
 	}
 	w.Writes.Inc()

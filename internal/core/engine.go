@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"lowdiff/internal/checkpoint"
@@ -62,6 +63,15 @@ type Options struct {
 	// checkpoints it as a state delta. Recovery adds deltas to the
 	// parameters; the optimizer moments stay those of the full checkpoint.
 	NaiveDC bool
+
+	// FaultTolerance, when non-nil, keeps the engine alive through
+	// storage faults: persist operations retry with bounded deterministic
+	// backoff, repeated differential-write failures fall back to a full
+	// checkpoint (a fresh chain base), and persistent full-checkpoint
+	// failures degrade health (see Engine.Health) while training
+	// continues. Nil preserves fail-fast semantics: the first storage
+	// error aborts Run.
+	FaultTolerance *FaultToleranceOptions
 
 	Seed  uint64
 	Noise float64 // per-worker gradient noise half-width (default 0.05)
@@ -124,6 +134,13 @@ type Engine struct {
 	writer *BatchedWriter
 	iter   int64 // completed iterations
 
+	// Fault-tolerance state (active when opts.FaultTolerance != nil).
+	ft           *FaultToleranceOptions
+	health       atomic.Int32 // Health ladder position
+	faults       FaultStats
+	needFull     atomic.Bool  // trainer should snapshot a fallback full
+	lastFullIter atomic.Int64 // newest successfully persisted full (-1: none)
+
 	// FullSnapshotTimer observes snapshot (state-clone) costs.
 	FullSnapshotTimer metrics.Timer
 }
@@ -158,7 +175,8 @@ func NewEngine(opts Options) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	e := &Engine{opts: opts, oracle: oracle, group: group}
+	e := &Engine{opts: opts, oracle: oracle, group: group, ft: opts.FaultTolerance}
+	e.lastFullIter.Store(-1)
 	n := opts.Spec.NumParams()
 	for w := 0; w < opts.Workers; w++ {
 		p := model.NewParams(opts.Spec)
@@ -198,6 +216,11 @@ func NewEngine(opts Options) (*Engine, error) {
 		w, err := NewBatchedWriter(opts.Store, opts.BatchSize, kind)
 		if err != nil {
 			return nil, err
+		}
+		if e.ft != nil {
+			retry := e.ft.Retry
+			w.Retry = &retry
+			w.OnRetry = func(int, error) { e.faults.DiffRetries.Inc() }
 		}
 		e.writer = w
 	}
@@ -264,6 +287,20 @@ func (e *Engine) Run(iters int) (RunStats, error) {
 			go func() { // checkpointing process: diff consumer (§4.1 Alg. 1)
 				defer ckptWG.Done()
 				broken := false
+				suspended := false
+				onDiffFailure := func() {
+					// Persistent differential-write failure: the open batch
+					// is lost, so the chain after the last full checkpoint
+					// is broken. Drop the batch, request a full checkpoint
+					// as a fresh chain base, and discard gradients until
+					// that base lands.
+					e.faults.DiffFailures.Inc()
+					e.writer.Drop()
+					suspended = true
+					e.degradeTo(HealthDegradedDiff)
+					e.faults.FullFallbacks.Inc()
+					e.needFull.Store(true)
+				}
 				for {
 					it, err := queue.Get()
 					if err != nil {
@@ -272,21 +309,39 @@ func (e *Engine) Run(iters int) (RunStats, error) {
 					if broken {
 						continue // drain so producers never block on a dead sink
 					}
+					if suspended {
+						// Only the first gradient after a freshly persisted
+						// full base can restart the differential chain;
+						// everything else is dropped (and accounted).
+						if e.Health() == HealthDegraded || it.Iter != e.lastFullIter.Load()+1 {
+							e.faults.DroppedDiffs.Inc()
+							continue
+						}
+						suspended = false
+					}
 					writeDone := e.opts.Trace.Begin("checkpoint", "diff-add",
 						map[string]interface{}{"iter": it.Iter})
 					err = e.writer.Add(it.Iter, it.Grad)
 					writeDone()
 					if err != nil {
-						errCh <- err
-						broken = true
+						if e.ft == nil {
+							errCh <- err
+							broken = true
+						} else {
+							onDiffFailure()
+						}
 						continue
 					}
 					// Cut batches at full-checkpoint boundaries so a batch
 					// never straddles the recovery base.
 					if it.Iter%int64(e.opts.FullEvery) == 0 {
 						if err := e.writer.Cut(); err != nil {
-							errCh <- err
-							broken = true
+							if e.ft == nil {
+								errCh <- err
+								broken = true
+							} else {
+								onDiffFailure()
+							}
 						}
 					}
 				}
@@ -300,20 +355,47 @@ func (e *Engine) Run(iters int) (RunStats, error) {
 				if broken {
 					continue // drain so the trainer never blocks on a dead sink
 				}
+				if e.ft != nil && e.Health() == HealthDegraded {
+					continue // ladder bottom: checkpointing suspended
+				}
 				persistDone := e.opts.Trace.Begin("persist", "full-checkpoint",
 					map[string]interface{}{"iter": f.Iter})
-				_, err := checkpoint.SaveFull(e.opts.Store, f)
+				var err error
+				if e.ft != nil {
+					err = e.ft.Retry.Do(func() error {
+						_, err := checkpoint.SaveFull(e.opts.Store, f)
+						return err
+					}, func(int, error) { e.faults.FullRetries.Inc() })
+				} else {
+					_, err = checkpoint.SaveFull(e.opts.Store, f)
+				}
 				persistDone()
 				if err != nil {
-					errCh <- err
-					broken = true
+					if e.ft == nil {
+						errCh <- err
+						broken = true
+						continue
+					}
+					// Persistent full-checkpoint failure: bottom of the
+					// degradation ladder. Training continues; checkpoint
+					// writes stop until the next engine restart.
+					e.faults.FullFailures.Inc()
+					e.degradeTo(HealthDegraded)
 					continue
 				}
 				fullWrites.Inc()
+				e.lastFullIter.Store(f.Iter)
+				if e.ft != nil {
+					e.restoreHealth() // a fresh base heals diff degradation
+				}
 				if e.opts.RetainFulls > 0 {
 					if err := e.gcOldCheckpoints(); err != nil {
-						errCh <- err
-						broken = true
+						if e.ft == nil {
+							errCh <- err
+							broken = true
+						} else {
+							e.faults.GCFailures.Inc()
+						}
 					}
 				}
 			}
@@ -409,17 +491,21 @@ func (e *Engine) Run(iters int) (RunStats, error) {
 				if w == 0 {
 					iterDone()
 				}
-				// Full checkpoint regularly: synchronous snapshot,
-				// asynchronous persist.
-				if w == 0 && checkpointing && t%int64(e.opts.FullEvery) == 0 {
-					snapStart := time.Now()
-					full := &checkpoint.Full{
-						Iter:   t,
-						Params: p.Flat.Clone(),
-						Opt:    o.Snapshot(),
+				// Full checkpoint regularly — and on demand when the
+				// fault-tolerance ladder requests a fresh chain base:
+				// synchronous snapshot, asynchronous persist.
+				if w == 0 && checkpointing {
+					fallback := e.needFull.CompareAndSwap(true, false)
+					if fallback || t%int64(e.opts.FullEvery) == 0 {
+						snapStart := time.Now()
+						full := &checkpoint.Full{
+							Iter:   t,
+							Params: p.Flat.Clone(),
+							Opt:    o.Snapshot(),
+						}
+						e.FullSnapshotTimer.Observe(time.Since(snapStart))
+						fullCh <- full
 					}
-					e.FullSnapshotTimer.Observe(time.Since(snapStart))
-					fullCh <- full
 				}
 			}
 		}(w)
@@ -460,11 +546,23 @@ func (e *Engine) Run(iters int) (RunStats, error) {
 func (e *Engine) Flush() error {
 	if e.writer != nil {
 		if err := e.writer.Cut(); err != nil {
-			return err
+			if e.ft == nil {
+				return err
+			}
+			// Degraded shutdown: the tail batch is lost after retries;
+			// account for it and leave the store consistent (the chain
+			// simply ends at the last persisted object).
+			e.faults.DiffFailures.Inc()
+			e.writer.Drop()
 		}
 	}
 	if e.opts.Store != nil && e.opts.RetainFulls > 0 {
-		return e.gcOldCheckpoints()
+		if err := e.gcOldCheckpoints(); err != nil {
+			if e.ft == nil {
+				return err
+			}
+			e.faults.GCFailures.Inc()
+		}
 	}
 	return nil
 }

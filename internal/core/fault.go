@@ -1,0 +1,175 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"lowdiff/internal/metrics"
+)
+
+// RetryPolicy bounds how hard a persist operation fights a failing store:
+// up to MaxRetries additional attempts with deterministic linear backoff
+// (attempt k sleeps k·Backoff) and an optional per-object write deadline.
+// The zero value retries 3 times with no backoff and no deadline.
+type RetryPolicy struct {
+	// MaxRetries is the number of attempts after the first (default 3).
+	MaxRetries int
+	// Backoff is the base backoff; attempt k waits k·Backoff before
+	// retrying. Zero disables sleeping (useful in tests).
+	Backoff time.Duration
+	// Timeout, when positive, is the per-attempt write deadline: an
+	// attempt still running after Timeout counts as failed and is
+	// retried. The abandoned attempt keeps running in the background;
+	// because stores commit atomically, a late completion at worst makes
+	// the object appear — it never tears it.
+	Timeout time.Duration
+	// Sleep is the backoff seam (nil uses time.Sleep).
+	Sleep func(time.Duration)
+}
+
+// ErrWriteDeadline reports a persist attempt that exceeded the policy's
+// per-object write deadline.
+var ErrWriteDeadline = fmt.Errorf("core: object write exceeded deadline")
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxRetries == 0 {
+		p.MaxRetries = 3
+	}
+	if p.Sleep == nil {
+		p.Sleep = time.Sleep
+	}
+	return p
+}
+
+// attempt runs op once, subject to the write deadline.
+func (p RetryPolicy) attempt(op func() error) error {
+	if p.Timeout <= 0 {
+		return op()
+	}
+	done := make(chan error, 1)
+	go func() { done <- op() }()
+	select {
+	case err := <-done:
+		return err
+	case <-time.After(p.Timeout):
+		return ErrWriteDeadline
+	}
+}
+
+// Do runs op, retrying per the policy. onRetry (may be nil) observes each
+// retry before its backoff sleep. The final error is returned when every
+// attempt fails; MaxRetries < 0 disables retrying entirely.
+func (p RetryPolicy) Do(op func() error, onRetry func(attempt int, err error)) error {
+	p = p.withDefaults()
+	err := p.attempt(op)
+	for attempt := 1; err != nil && attempt <= p.MaxRetries; attempt++ {
+		if onRetry != nil {
+			onRetry(attempt, err)
+		}
+		if p.Backoff > 0 {
+			p.Sleep(time.Duration(attempt) * p.Backoff)
+		}
+		err = p.attempt(op)
+	}
+	return err
+}
+
+// Health is the engine's position on the degradation ladder. The ladder
+// only descends through persistent faults and climbs back when a full
+// checkpoint lands:
+//
+//	HealthOK            → all checkpoint paths working
+//	HealthDegradedDiff  → differential writes failing persistently; the
+//	                      engine fell back to full checkpoints and drops
+//	                      differentials until a new full base lands
+//	HealthDegraded      → full checkpoints failing persistently too;
+//	                      training continues with checkpointing suspended
+type Health int32
+
+const (
+	HealthOK Health = iota
+	HealthDegradedDiff
+	HealthDegraded
+)
+
+func (h Health) String() string {
+	switch h {
+	case HealthOK:
+		return "ok"
+	case HealthDegradedDiff:
+		return "degraded-diff"
+	case HealthDegraded:
+		return "degraded"
+	default:
+		return fmt.Sprintf("Health(%d)", int32(h))
+	}
+}
+
+// FaultToleranceOptions opts the engine into surviving storage faults:
+// persist operations retry per the policy, persistent differential-write
+// failures fall back to a full checkpoint, and persistent full-checkpoint
+// failures degrade health instead of aborting the run. When Options.
+// FaultTolerance is nil the engine keeps its historical fail-fast
+// semantics (the first storage error surfaces from Run).
+type FaultToleranceOptions struct {
+	Retry RetryPolicy
+}
+
+// FaultStats counts fault-handling events. All counters are cumulative
+// across Run calls and safe to read concurrently.
+type FaultStats struct {
+	DiffRetries   metrics.Counter // differential persist attempts retried
+	FullRetries   metrics.Counter // full-checkpoint persist attempts retried
+	DiffFailures  metrics.Counter // differential batches lost after retries
+	FullFailures  metrics.Counter // full checkpoints lost after retries
+	FullFallbacks metrics.Counter // diff→full degradations triggered
+	DroppedDiffs  metrics.Counter // gradients dropped while awaiting a new base
+	GCFailures    metrics.Counter // retention sweeps that failed
+	Degradations  metrics.Counter // downward ladder transitions
+	Recoveries    metrics.Counter // upward ladder transitions (health restored)
+}
+
+// Snapshot returns the counters as a name → value map (for reports).
+func (s *FaultStats) Snapshot() map[string]int64 {
+	return map[string]int64{
+		"diff_retries":   s.DiffRetries.Value(),
+		"full_retries":   s.FullRetries.Value(),
+		"diff_failures":  s.DiffFailures.Value(),
+		"full_failures":  s.FullFailures.Value(),
+		"full_fallbacks": s.FullFallbacks.Value(),
+		"dropped_diffs":  s.DroppedDiffs.Value(),
+		"gc_failures":    s.GCFailures.Value(),
+		"degradations":   s.Degradations.Value(),
+		"recoveries":     s.Recoveries.Value(),
+	}
+}
+
+// Health returns the engine's current degradation-ladder position.
+func (e *Engine) Health() Health { return Health(e.health.Load()) }
+
+// FaultCounters exposes the engine's fault-handling counters.
+func (e *Engine) FaultCounters() *FaultStats { return &e.faults }
+
+// degradeTo moves health down the ladder (never up); it reports whether
+// the transition happened.
+func (e *Engine) degradeTo(h Health) bool {
+	for {
+		cur := e.health.Load()
+		if cur >= int32(h) {
+			return false
+		}
+		if e.health.CompareAndSwap(cur, int32(h)) {
+			e.faults.Degradations.Inc()
+			return true
+		}
+	}
+}
+
+// restoreHealth climbs back to HealthOK after a full checkpoint lands
+// while the engine is in HealthDegradedDiff. HealthDegraded is sticky for
+// the persister (it stops attempting writes), so it is not climbed here.
+func (e *Engine) restoreHealth() {
+	if e.health.CompareAndSwap(int32(HealthDegradedDiff), int32(HealthOK)) {
+		e.faults.Recoveries.Inc()
+	}
+}

@@ -1,0 +1,256 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"lowdiff/internal/checkpoint"
+	"lowdiff/internal/model"
+	"lowdiff/internal/storage"
+)
+
+func TestRetryPolicySucceedsAfterTransientFailures(t *testing.T) {
+	fake := fmt.Errorf("transient")
+	calls, retries := 0, 0
+	var slept []time.Duration
+	p := RetryPolicy{
+		MaxRetries: 5,
+		Backoff:    10 * time.Millisecond,
+		Sleep:      func(d time.Duration) { slept = append(slept, d) },
+	}
+	err := p.Do(func() error {
+		calls++
+		if calls < 3 {
+			return fake
+		}
+		return nil
+	}, func(attempt int, err error) {
+		retries++
+		if !errors.Is(err, fake) {
+			t.Fatalf("onRetry saw %v", err)
+		}
+	})
+	if err != nil || calls != 3 || retries != 2 {
+		t.Fatalf("err=%v calls=%d retries=%d", err, calls, retries)
+	}
+	// Deterministic linear backoff: attempt k sleeps k·Backoff.
+	want := []time.Duration{10 * time.Millisecond, 20 * time.Millisecond}
+	if len(slept) != 2 || slept[0] != want[0] || slept[1] != want[1] {
+		t.Fatalf("backoff schedule %v, want %v", slept, want)
+	}
+}
+
+func TestRetryPolicyExhaustsAndReturnsFinalError(t *testing.T) {
+	fake := fmt.Errorf("dead")
+	calls := 0
+	err := RetryPolicy{MaxRetries: 2}.Do(func() error { calls++; return fake }, nil)
+	if !errors.Is(err, fake) || calls != 3 {
+		t.Fatalf("err=%v calls=%d, want final error after 3 attempts", err, calls)
+	}
+	// MaxRetries < 0 disables retrying.
+	calls = 0
+	_ = RetryPolicy{MaxRetries: -1}.Do(func() error { calls++; return fake }, nil)
+	if calls != 1 {
+		t.Fatalf("no-retry policy made %d attempts", calls)
+	}
+}
+
+func TestRetryPolicyWriteDeadline(t *testing.T) {
+	started := make(chan struct{}, 4)
+	p := RetryPolicy{MaxRetries: 1, Timeout: 20 * time.Millisecond}
+	err := p.Do(func() error {
+		started <- struct{}{}
+		time.Sleep(300 * time.Millisecond)
+		return nil
+	}, nil)
+	if !errors.Is(err, ErrWriteDeadline) {
+		t.Fatalf("err = %v, want write-deadline", err)
+	}
+	if len(started) != 2 {
+		t.Fatalf("%d attempts started, want 2", len(started))
+	}
+}
+
+// prefixFaultStore rejects writes of objects with a given name prefix a
+// bounded number of times — faults scoped to one checkpoint kind.
+type prefixFaultStore struct {
+	storage.Store
+	mu     sync.Mutex
+	prefix string
+	fails  int
+}
+
+func (s *prefixFaultStore) Create(name string) (io.WriteCloser, error) {
+	s.mu.Lock()
+	doomed := strings.HasPrefix(name, s.prefix) && s.fails > 0
+	if doomed {
+		s.fails--
+	}
+	s.mu.Unlock()
+	if doomed {
+		return nil, storage.ErrInjectedFault
+	}
+	return s.Store.Create(name)
+}
+
+// Persistent differential-write failure: the engine falls back to a full
+// checkpoint as a fresh chain base, heals once it lands, and finishes the
+// run healthy — the diff→full rung of the degradation ladder.
+func TestEngineFallsBackToFullOnDiffFailure(t *testing.T) {
+	mem := storage.NewMem()
+	// Two rejections cover the first diff write and its single retry, so
+	// the first differential fails persistently and everything after the
+	// fallback succeeds.
+	store := &prefixFaultStore{Store: mem, prefix: "diff-", fails: 2}
+	e, err := NewEngine(Options{
+		Spec: model.Tiny(2, 16), Workers: 1, Optimizer: "sgd", LR: 0.05,
+		Rho: 0.3, Store: store, FullEvery: 6, BatchSize: 1, QueueCap: 2,
+		Seed:           11,
+		FaultTolerance: &FaultToleranceOptions{Retry: RetryPolicy{MaxRetries: 1}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(18); err != nil {
+		t.Fatalf("fault-tolerant run aborted: %v", err)
+	}
+	if err := e.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Health(); got != HealthOK {
+		t.Fatalf("health = %v, want ok after the fallback base landed", got)
+	}
+	fc := e.FaultCounters()
+	if fc.DiffFailures.Value() != 1 || fc.FullFallbacks.Value() != 1 {
+		t.Fatalf("counters: %+v", fc.Snapshot())
+	}
+	if fc.DiffRetries.Value() != 1 {
+		t.Fatalf("diff retries = %d, want 1", fc.DiffRetries.Value())
+	}
+	// The store ends recoverable to the final iteration: the last
+	// periodic full persisted despite the earlier outage.
+	m, err := checkpoint.Scan(mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	latest, ok := m.LatestFull()
+	if !ok || latest.Iter != 18 {
+		t.Fatalf("latest full = %+v, %v; want iter 18", latest, ok)
+	}
+	// The fallback full is an extra, off-grid base (not a multiple of
+	// FullEvery) unless it coincided with a boundary; either way at least
+	// the initial, fallback-or-boundary, and later periodic fulls exist.
+	if len(m.Fulls) < 4 {
+		t.Fatalf("fulls: %+v, want initial + fallback + periodic", m.Fulls)
+	}
+}
+
+// Persistent storage death: every rung fails — differential writes, then
+// the fallback full — and the engine degrades to health "degraded" while
+// training runs to completion instead of aborting. The counters account
+// for every retry and every dropped differential.
+func TestEngineDegradesInsteadOfAborting(t *testing.T) {
+	mem := storage.NewMem()
+	chaos, err := storage.NewChaos(mem, storage.ChaosConfig{Seed: 5, FailWritesAfter: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewEngine(Options{
+		Spec: model.Tiny(2, 16), Workers: 2, Optimizer: "adam", LR: 0.02,
+		Rho: 0.3, Store: chaos, FullEvery: 4, BatchSize: 1, QueueCap: 2,
+		Seed:           7,
+		FaultTolerance: &FaultToleranceOptions{Retry: RetryPolicy{MaxRetries: 2}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := e.Run(30)
+	if err != nil {
+		t.Fatalf("degraded run aborted: %v", err)
+	}
+	if err := e.Flush(); err != nil {
+		t.Fatalf("degraded flush errored: %v", err)
+	}
+	if e.Iter() != 30 || stats.Iterations != 30 {
+		t.Fatalf("training stopped early: iter %d", e.Iter())
+	}
+	if !e.WorkersInSync() {
+		t.Fatal("degradation broke worker synchronization")
+	}
+	if got := e.Health(); got != HealthDegraded {
+		t.Fatalf("health = %v, want degraded", got)
+	}
+	fc := e.FaultCounters()
+	snap := fc.Snapshot()
+	if fc.DiffFailures.Value() < 1 || fc.FullFallbacks.Value() < 1 {
+		t.Fatalf("diff rung not exercised: %+v", snap)
+	}
+	if fc.FullFailures.Value() < 1 {
+		t.Fatalf("full rung not exercised: %+v", snap)
+	}
+	// Every persistent failure burned the full retry budget.
+	if fc.DiffRetries.Value() < 2 || fc.FullRetries.Value() < 2 {
+		t.Fatalf("retries unaccounted: %+v", snap)
+	}
+	if fc.DroppedDiffs.Value() < 1 {
+		t.Fatalf("dropped differentials unaccounted: %+v", snap)
+	}
+	// At least one downward transition; both rungs may collapse into one
+	// when the full persister fails before the diff consumer degrades.
+	if fc.Degradations.Value() < 1 {
+		t.Fatalf("ladder transitions unaccounted: %+v", snap)
+	}
+	// Whatever landed before the device died is still a readable,
+	// consistent prefix.
+	m, err := checkpoint.Scan(mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Fulls)+len(m.Diffs) == 0 {
+		t.Fatal("nothing persisted before the fault point; test misconfigured")
+	}
+	for _, f := range m.Fulls {
+		if _, err := checkpoint.LoadFull(mem, f.Name); err != nil {
+			t.Fatalf("surviving full %s unreadable: %v", f.Name, err)
+		}
+	}
+}
+
+// Fault tolerance must be opt-in: without it, the first storage error
+// still aborts the run (the historical fail-fast contract).
+func TestEngineWithoutFaultToleranceStillFailsFast(t *testing.T) {
+	faulty, err := storage.NewFaulty(storage.NewMem(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewEngine(Options{
+		Spec: model.Tiny(2, 16), Workers: 1, Rho: 0.3,
+		Store: faulty, FullEvery: 4, BatchSize: 1, QueueCap: 2, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, runErr := e.Run(20)
+	flushErr := e.Flush()
+	if runErr == nil && flushErr == nil {
+		t.Fatal("fail-fast engine swallowed the injected fault")
+	}
+	if e.Health() != HealthOK || e.FaultCounters().Degradations.Value() != 0 {
+		t.Fatal("fail-fast engine moved on the degradation ladder")
+	}
+}
+
+func TestHealthString(t *testing.T) {
+	for h, want := range map[Health]string{
+		HealthOK: "ok", HealthDegradedDiff: "degraded-diff", HealthDegraded: "degraded", Health(9): "Health(9)",
+	} {
+		if h.String() != want {
+			t.Errorf("Health(%d).String() = %q, want %q", h, h.String(), want)
+		}
+	}
+}

@@ -1,0 +1,342 @@
+package recovery
+
+import (
+	"strings"
+	"testing"
+
+	"lowdiff/internal/core"
+	"lowdiff/internal/model"
+	"lowdiff/internal/storage"
+)
+
+// trainWithTrajectory runs a fresh engine one iteration at a time against
+// store, recording the live parameter vector at every completed iteration
+// (including the initial state at iteration 0).
+func trainWithTrajectory(t *testing.T, opts core.Options, iters int) (*core.Engine, map[int64][]float32) {
+	t.Helper()
+	e, err := core.NewEngine(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	traj := map[int64][]float32{0: append([]float32(nil), e.Params()...)}
+	for i := 0; i < iters; i++ {
+		if _, err := e.Run(1); err != nil {
+			t.Fatal(err)
+		}
+		traj[e.Iter()] = append([]float32(nil), e.Params()...)
+	}
+	if err := e.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return e, traj
+}
+
+func assertBitExact(t *testing.T, st *State, traj map[int64][]float32) {
+	t.Helper()
+	want, ok := traj[st.Iter]
+	if !ok {
+		t.Fatalf("recovered to iteration %d, outside the live trajectory", st.Iter)
+	}
+	for i := range want {
+		if st.Params[i] != want[i] {
+			t.Fatalf("recovery to iteration %d is not bit-exact (param %d: %v != %v)",
+				st.Iter, i, st.Params[i], want[i])
+		}
+	}
+}
+
+// flipBit durably corrupts one stored object in place.
+func flipBit(t *testing.T, s storage.Store, name string, bit int) {
+	t.Helper()
+	data, err := storage.ReadObject(s, name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[bit/8] ^= 1 << (bit % 8)
+	if err := storage.WriteObject(s, name, data); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The acceptance scenario end to end: training rides out transient write
+// faults via retries while the chaos store silently bit-flips some of the
+// objects it persists; a mid-checkpoint crash additionally tears the
+// newest differential. Recovery must quarantine the damage and land
+// bit-exactly on the newest fully-valid state.
+func TestChaosTrainingRecoversBitExactViaQuarantine(t *testing.T) {
+	mem := storage.NewMem()
+	chaos, err := storage.NewChaos(mem, storage.ChaosConfig{
+		Seed:             42,
+		WriteFailProb:    0.25, // transient: absorbed by retries
+		BitFlipWriteProb: 0.10, // durable: must be quarantined at recovery
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, traj := trainWithTrajectory(t, core.Options{
+		Spec: model.Tiny(2, 24), Workers: 1, Optimizer: "sgd", LR: 0.05,
+		Rho: 0.3, Store: chaos, FullEvery: 8, BatchSize: 1, QueueCap: 2, Seed: 9,
+		FaultTolerance: &core.FaultToleranceOptions{Retry: core.RetryPolicy{MaxRetries: 12}},
+	}, 40)
+
+	// Mid-checkpoint crash: the process dies while writing the newest full
+	// checkpoint, leaving a torn object on a non-atomic device. Tearing the
+	// newest full guarantees the validator meets damage on its walk no
+	// matter which other objects the chaos flips hit.
+	fulls, err := mem.List("full-")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fulls) < 2 {
+		t.Fatal("too few fulls persisted; test misconfigured")
+	}
+	newest := fulls[len(fulls)-1]
+	data, err := storage.ReadObject(mem, newest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := storage.WriteObject(mem, newest, data[:len(data)/2]); err != nil {
+		t.Fatal(err)
+	}
+
+	st, report, err := LatestValid(mem, ValidateOptions{Quarantine: true})
+	if err != nil {
+		t.Fatalf("recovery failed outright: %v", err)
+	}
+	assertBitExact(t, st, traj)
+	if st.Iter != report.RecoverableIter {
+		t.Fatalf("report says %d, state says %d", report.RecoverableIter, st.Iter)
+	}
+	// The torn mid-checkpoint write is damage by construction: the newest
+	// full is the first object the validator examines, so at least one
+	// corrupt object must be on the report and in quarantine.
+	if _, corrupt, _ := report.Counts(); corrupt == 0 {
+		t.Fatalf("validator saw no damage despite %d write bit flips and a torn full",
+			chaos.Counters().WriteBitFlips)
+	}
+	if len(report.Quarantined) == 0 {
+		t.Fatal("nothing quarantined despite a torn newest full")
+	}
+	// Quarantined objects left the checkpoint namespace but stayed in
+	// the store for forensics.
+	for _, name := range report.Quarantined {
+		if _, err := storage.ReadObject(mem, name); !storage.IsNotExist(err) {
+			t.Fatalf("quarantined %s still visible to scans", name)
+		}
+		if _, err := storage.ReadObject(mem, QuarantinePrefix+name); err != nil {
+			t.Fatalf("quarantined copy of %s missing: %v", name, err)
+		}
+	}
+	// After quarantine, even the strict legacy recovery path works on the
+	// cleaned store (the chain now simply ends at the damage point).
+	strict, _, err := Latest(mem)
+	if err != nil {
+		t.Fatalf("post-quarantine strict recovery: %v", err)
+	}
+	if strict.Iter != st.Iter {
+		t.Fatalf("strict recovery landed at %d, validator at %d", strict.Iter, st.Iter)
+	}
+}
+
+// Recovery *through* a chaos store: transient torn reads and read-side
+// bit flips make individual loads fail CRC, but per-object load retries
+// see clean bytes eventually — recovery stays bit-exact.
+func TestRecoveryThroughChaoticReadsBitExact(t *testing.T) {
+	mem := storage.NewMem()
+	e, traj := trainWithTrajectory(t, core.Options{
+		Spec: model.Tiny(2, 24), Workers: 1, Optimizer: "sgd", LR: 0.05,
+		Rho: 0.3, Store: mem, FullEvery: 8, BatchSize: 1, Seed: 21,
+	}, 32)
+	chaos, err := storage.NewChaos(mem, storage.ChaosConfig{
+		Seed:            7,
+		TornReadProb:    0.2,
+		BitFlipReadProb: 0.2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, report, err := LatestValid(chaos, ValidateOptions{LoadRetries: 8})
+	if err != nil {
+		t.Fatalf("recovery through chaotic reads: %v", err)
+	}
+	assertBitExact(t, st, traj)
+	if st.Iter != e.Iter() {
+		// Transient faults may (very rarely) exhaust retries and truncate
+		// the chain — that still has to yield a valid earlier prefix, and
+		// with this seed it should not happen at all.
+		valid, corrupt, missing := report.Counts()
+		t.Fatalf("recovered to %d, live was %d (report: %d valid, %d corrupt, %d missing)",
+			st.Iter, e.Iter(), valid, corrupt, missing)
+	}
+	if chaos.Counters().TornReads+chaos.Counters().ReadBitFlips == 0 {
+		t.Fatal("chaos injected nothing; test misconfigured")
+	}
+}
+
+// A corrupt differential mid-chain truncates recovery to the iterations
+// before it, and quarantine moves the damaged object aside.
+func TestLatestValidTruncatesAtCorruptDiff(t *testing.T) {
+	mem := storage.NewMem()
+	// FullEvery exceeds the run length so the initial full at iteration 0
+	// is the only base and the diff chain is what recovery depends on.
+	_, traj := trainWithTrajectory(t, core.Options{
+		Spec: model.Tiny(2, 16), Workers: 1, Optimizer: "sgd", LR: 0.05,
+		Rho: 0.3, Store: mem, FullEvery: 50, BatchSize: 1, Seed: 4,
+	}, 16)
+	// Corrupt the differential covering iteration 9.
+	diffs, err := mem.List("diff-")
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := diffs[8] // diff-...009-...009
+	flipBit(t, mem, target, 100)
+
+	st, report, err := LatestValid(mem, ValidateOptions{Quarantine: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Iter != 8 {
+		t.Fatalf("recovered to %d, want 8 (last valid before the corrupt diff)", st.Iter)
+	}
+	assertBitExact(t, st, traj)
+	if len(report.Quarantined) != 1 || report.Quarantined[0] != target {
+		t.Fatalf("quarantined %v, want [%s]", report.Quarantined, target)
+	}
+	if _, err := mem.Open(target); !storage.IsNotExist(err) {
+		t.Fatal("corrupt diff still in the checkpoint namespace")
+	}
+}
+
+// A corrupt *full* checkpoint falls back to the next older full plus its
+// differential chain — still ending bit-exact at the newest valid state.
+func TestLatestValidFallsBackPastCorruptFull(t *testing.T) {
+	mem := storage.NewMem()
+	_, traj := trainWithTrajectory(t, core.Options{
+		Spec: model.Tiny(2, 16), Workers: 1, Optimizer: "sgd", LR: 0.05,
+		Rho: 0.3, Store: mem, FullEvery: 8, BatchSize: 1, Seed: 5,
+	}, 24)
+	// Kill the newest full (iteration 24). The chain from full-16 over
+	// diffs 17..24 still reaches 24.
+	fulls, err := mem.List("full-")
+	if err != nil {
+		t.Fatal(err)
+	}
+	newest := fulls[len(fulls)-1]
+	flipBit(t, mem, newest, 64)
+
+	st, report, err := LatestValid(mem, ValidateOptions{Quarantine: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Iter != 24 {
+		t.Fatalf("recovered to %d, want 24 via the older full's chain", st.Iter)
+	}
+	assertBitExact(t, st, traj)
+	if report.BaseIter != 16 {
+		t.Fatalf("anchored at %d, want the fallback full 16", report.BaseIter)
+	}
+	if len(report.Quarantined) != 1 || report.Quarantined[0] != newest {
+		t.Fatalf("quarantined %v, want [%s]", report.Quarantined, newest)
+	}
+}
+
+// GC interrupted mid-delete: obsolete objects are partially gone and the
+// survivors form holes. Recovery must still reach the newest valid prefix
+// from whatever full remains.
+func TestRecoveryAfterInterruptedGC(t *testing.T) {
+	mem := storage.NewMem()
+	_, traj := trainWithTrajectory(t, core.Options{
+		Spec: model.Tiny(2, 16), Workers: 1, Optimizer: "sgd", LR: 0.05,
+		Rho: 0.3, Store: mem, FullEvery: 8, BatchSize: 1, Seed: 6,
+	}, 24)
+	// A GC pass died partway: the newest full (24) and an old full (0) are
+	// gone, and two obsolete differentials vanished while their neighbors
+	// linger. Recovery must skip the hole where full-24 was, anchor on the
+	// surviving full-16, and still replay forward to iteration 24.
+	for _, name := range []string{"full-000000000024.ckpt", "full-000000000000.ckpt",
+		"diff-000000000003-000000000003.ckpt", "diff-000000000011-000000000011.ckpt"} {
+		if err := mem.Delete(name); err != nil {
+			t.Fatalf("delete %s: %v", name, err)
+		}
+	}
+	st, report, err := LatestValid(mem, ValidateOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Iter != 24 {
+		t.Fatalf("recovered to %d, want 24 from the surviving full-16", st.Iter)
+	}
+	assertBitExact(t, st, traj)
+	if report.BaseIter != 16 {
+		t.Fatalf("anchored at %d, want 16", report.BaseIter)
+	}
+
+	// Harsher: a differential in the live chain is gone too. Recovery
+	// stops at the hole and lands on the newest valid prefix before it.
+	if err := mem.Delete("diff-000000000021-000000000021.ckpt"); err != nil {
+		t.Fatal(err)
+	}
+	st, _, err = LatestValid(mem, ValidateOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Iter != 20 {
+		t.Fatalf("recovered to %d, want 20 (full-16 + diffs 17..20)", st.Iter)
+	}
+	assertBitExact(t, st, traj)
+}
+
+func TestLatestValidNoValidFull(t *testing.T) {
+	mem := storage.NewMem()
+	if _, _, err := LatestValid(mem, ValidateOptions{}); err == nil ||
+		!strings.Contains(err.Error(), "no valid full checkpoint") {
+		t.Fatalf("empty store: %v", err)
+	}
+	// A store whose only full is corrupt is just as unrecoverable.
+	_, _ = trainWithTrajectory(t, core.Options{
+		Spec: model.Tiny(2, 16), Workers: 1, Optimizer: "sgd", LR: 0.05,
+		Rho: 0.3, Store: mem, FullEvery: 50, BatchSize: 1, Seed: 8,
+	}, 4)
+	fulls, _ := mem.List("full-")
+	for _, f := range fulls {
+		flipBit(t, mem, f, 8)
+	}
+	if _, _, err := LatestValid(mem, ValidateOptions{}); err == nil {
+		t.Fatal("want no-valid-full error")
+	}
+}
+
+func TestVerifyReportsChainValidity(t *testing.T) {
+	mem := storage.NewMem()
+	_, _ = trainWithTrajectory(t, core.Options{
+		Spec: model.Tiny(2, 16), Workers: 1, Optimizer: "sgd", LR: 0.05,
+		Rho: 0.3, Store: mem, FullEvery: 8, BatchSize: 1, Seed: 10,
+	}, 20)
+	report, err := Verify(mem, ValidateOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.Clean() {
+		t.Fatalf("clean store reported dirty: %+v", report.Objects)
+	}
+	if report.RecoverableIter != 20 {
+		t.Fatalf("recoverable to %d, want 20", report.RecoverableIter)
+	}
+	// Corrupt a diff past the newest full (16); Verify flags it, does NOT
+	// quarantine, and shows the truncated recoverable horizon.
+	flipBit(t, mem, "diff-000000000018-000000000018.ckpt", 50)
+	report, err = Verify(mem, ValidateOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	valid, corrupt, missing := report.Counts()
+	if corrupt != 1 || missing != 0 || valid == 0 {
+		t.Fatalf("counts = %d/%d/%d", valid, corrupt, missing)
+	}
+	if report.RecoverableIter != 17 {
+		t.Fatalf("recoverable to %d, want 17 (chain truncates at the corrupt diff)", report.RecoverableIter)
+	}
+	if names, _ := mem.List(QuarantinePrefix); len(names) != 0 {
+		t.Fatal("Verify mutated the store")
+	}
+}

@@ -1,0 +1,235 @@
+package storage
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ChaosConfig selects which faults a Chaos store injects and how often.
+// All probabilities are per operation in [0, 1]; zero disables that fault.
+// Injection is driven by a seeded SplitMix64 generator consumed once per
+// decision, so a given seed and operation sequence reproduces the exact
+// same fault pattern — chaos runs are replayable.
+type ChaosConfig struct {
+	Seed uint64
+
+	// WriteFailProb injects transient write failures: the returned writer
+	// fails with ErrInjectedFault, nothing becomes visible, and the next
+	// attempt draws fresh. This models a flaky device or network blip.
+	WriteFailProb float64
+	// FailWritesAfter, when positive, makes every write attempt after the
+	// Nth fail permanently (the device died mid-job). Zero disables.
+	FailWritesAfter int
+	// BitFlipWriteProb corrupts a persisted object: one bit of the
+	// committed payload is flipped, so the object exists but its CRC no
+	// longer verifies. The corruption is durable (visible to every read).
+	BitFlipWriteProb float64
+	// TornReadProb makes a read return a strict prefix of the object (a
+	// torn/short read), as if the file were truncated mid-transfer.
+	TornReadProb float64
+	// BitFlipReadProb flips one bit of the data a single read observes.
+	// The stored object is unchanged; a retry sees clean bytes.
+	BitFlipReadProb float64
+	// LatencyProb stalls an operation for Latency (a latency spike).
+	LatencyProb float64
+	Latency     time.Duration
+	// Sleep is the latency seam (nil uses time.Sleep).
+	Sleep func(time.Duration)
+}
+
+func (c ChaosConfig) validate() error {
+	for _, p := range []struct {
+		name string
+		v    float64
+	}{
+		{"WriteFailProb", c.WriteFailProb},
+		{"BitFlipWriteProb", c.BitFlipWriteProb},
+		{"TornReadProb", c.TornReadProb},
+		{"BitFlipReadProb", c.BitFlipReadProb},
+		{"LatencyProb", c.LatencyProb},
+	} {
+		if p.v < 0 || p.v > 1 {
+			return fmt.Errorf("storage: chaos %s = %v out of [0,1]", p.name, p.v)
+		}
+	}
+	if c.FailWritesAfter < 0 {
+		return fmt.Errorf("storage: chaos FailWritesAfter %d must be >= 0", c.FailWritesAfter)
+	}
+	return nil
+}
+
+// ChaosCounters is a snapshot of the faults a Chaos store has injected.
+type ChaosCounters struct {
+	WriteFaults    int64 // writes rejected (transient + permanent)
+	WriteBitFlips  int64 // objects persisted with a flipped bit
+	TornReads      int64 // reads truncated to a prefix
+	ReadBitFlips   int64 // reads that observed a flipped bit
+	LatencySpikes  int64 // operations stalled
+	WriteAttempts  int64 // total Create calls
+	PermanentFault bool  // the FailWritesAfter budget has been exhausted
+}
+
+// Chaos wraps a store with seeded, deterministic fault injection spanning
+// the failure modes a checkpointing system must survive: transient and
+// permanent write failures, torn reads, bit-flip corruption (both durable,
+// at write time, and transient, at read time), and latency spikes. It
+// generalizes the trip-once Faulty wrapper for chaos-style testing of the
+// retry, degradation, and quarantine machinery.
+type Chaos struct {
+	Store
+	cfg ChaosConfig
+
+	mu     sync.Mutex
+	rng    uint64 // SplitMix64 state
+	writes int    // Create attempts so far
+
+	writeFaults   atomic.Int64
+	writeBitFlips atomic.Int64
+	tornReads     atomic.Int64
+	readBitFlips  atomic.Int64
+	latencySpikes atomic.Int64
+}
+
+// NewChaos wraps s with the configured fault injection.
+func NewChaos(s Store, cfg ChaosConfig) (*Chaos, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Sleep == nil {
+		cfg.Sleep = time.Sleep
+	}
+	return &Chaos{Store: s, cfg: cfg, rng: cfg.Seed}, nil
+}
+
+// Counters returns a snapshot of the injected-fault counters.
+func (c *Chaos) Counters() ChaosCounters {
+	c.mu.Lock()
+	writes := c.writes
+	permanent := c.cfg.FailWritesAfter > 0 && writes > c.cfg.FailWritesAfter
+	c.mu.Unlock()
+	return ChaosCounters{
+		WriteFaults:    c.writeFaults.Load(),
+		WriteBitFlips:  c.writeBitFlips.Load(),
+		TornReads:      c.tornReads.Load(),
+		ReadBitFlips:   c.readBitFlips.Load(),
+		LatencySpikes:  c.latencySpikes.Load(),
+		WriteAttempts:  int64(writes),
+		PermanentFault: permanent,
+	}
+}
+
+// next draws 64 pseudo-random bits (SplitMix64; callers hold c.mu).
+func (c *Chaos) next() uint64 {
+	c.rng += 0x9e3779b97f4a7c15
+	z := c.rng
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// draw consumes one decision with probability p (callers hold c.mu).
+func (c *Chaos) draw(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	return float64(c.next()>>11)/(1<<53) < p
+}
+
+// chaosWriter buffers the object so a write-time bit flip can corrupt the
+// committed payload before it reaches the underlying store.
+type chaosWriter struct {
+	buf    bytes.Buffer
+	c      *Chaos
+	name   string
+	flip   bool
+	closed bool
+}
+
+func (w *chaosWriter) Write(p []byte) (int, error) {
+	if w.closed {
+		return 0, fmt.Errorf("storage: write after close")
+	}
+	return w.buf.Write(p)
+}
+
+func (w *chaosWriter) Close() error {
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	data := w.buf.Bytes()
+	if w.flip && len(data) > 0 {
+		w.c.mu.Lock()
+		bit := w.c.next() % uint64(8*len(data))
+		w.c.mu.Unlock()
+		data = append([]byte(nil), data...)
+		data[bit/8] ^= 1 << (bit % 8)
+		w.c.writeBitFlips.Add(1)
+	}
+	return WriteObject(w.c.Store, w.name, data)
+}
+
+// Create implements Store. Fault decisions are drawn when the writer is
+// created, so the injected outcome is fixed per attempt.
+func (c *Chaos) Create(name string) (io.WriteCloser, error) {
+	c.mu.Lock()
+	c.writes++
+	permanent := c.cfg.FailWritesAfter > 0 && c.writes > c.cfg.FailWritesAfter
+	transient := !permanent && c.draw(c.cfg.WriteFailProb)
+	flip := !permanent && !transient && c.draw(c.cfg.BitFlipWriteProb)
+	stall := c.draw(c.cfg.LatencyProb)
+	c.mu.Unlock()
+	if stall {
+		c.latencySpikes.Add(1)
+		c.cfg.Sleep(c.cfg.Latency)
+	}
+	if permanent || transient {
+		c.writeFaults.Add(1)
+		// The write never reaches the device: nothing becomes visible.
+		return &faultyWriter{doomed: true}, nil
+	}
+	return &chaosWriter{c: c, name: name, flip: flip}, nil
+}
+
+// Open implements Store. Torn and bit-flipped reads affect only the bytes
+// this call observes; the stored object is untouched, so retries can
+// distinguish transient read faults from durable corruption.
+func (c *Chaos) Open(name string) (io.ReadCloser, error) {
+	c.mu.Lock()
+	torn := c.draw(c.cfg.TornReadProb)
+	flip := !torn && c.draw(c.cfg.BitFlipReadProb)
+	stall := c.draw(c.cfg.LatencyProb)
+	c.mu.Unlock()
+	if stall {
+		c.latencySpikes.Add(1)
+		c.cfg.Sleep(c.cfg.Latency)
+	}
+	r, err := c.Store.Open(name)
+	if err != nil || (!torn && !flip) {
+		return r, err
+	}
+	data, err := io.ReadAll(r)
+	r.Close()
+	if err != nil {
+		return nil, err
+	}
+	if torn && len(data) > 0 {
+		c.mu.Lock()
+		n := int(c.next() % uint64(len(data)))
+		c.mu.Unlock()
+		data = data[:n]
+		c.tornReads.Add(1)
+	} else if flip && len(data) > 0 {
+		c.mu.Lock()
+		bit := c.next() % uint64(8*len(data))
+		c.mu.Unlock()
+		data = append([]byte(nil), data...)
+		data[bit/8] ^= 1 << (bit % 8)
+		c.readBitFlips.Add(1)
+	}
+	return io.NopCloser(bytes.NewReader(data)), nil
+}

@@ -7,28 +7,47 @@ import (
 )
 
 // Faulty wraps a store with deterministic fault injection for
-// crash-consistency testing: after a configured number of successful
-// object writes, every subsequent write fails (simulating the process
-// dying mid-checkpoint); reads keep working so recovery can be exercised
-// against whatever survived. Because the underlying stores commit
-// atomically on Close, a failed write leaves no partial object — matching
-// the crash behaviour the checkpoint layer is designed for.
+// crash-consistency testing. After a configured number of successful
+// object writes the store starts rejecting writes — either forever
+// (simulating the process dying mid-checkpoint) or for a bounded run of
+// attempts after which writes succeed again (a transient outage a retry
+// policy can ride out). Reads keep working in both modes so recovery can
+// be exercised against whatever survived. Because the underlying stores
+// commit atomically on Close, a failed write leaves no partial object —
+// matching the crash behaviour the checkpoint layer is designed for.
 type Faulty struct {
 	Store
 	mu        sync.Mutex
 	remaining int  // successful writes left before failures begin
+	failures  int  // failing writes left; < 0 means fail forever
 	failed    bool // a write has been rejected
+	faults    int  // writes rejected so far
 }
 
 // ErrInjectedFault is returned by writes after the fault point.
 var ErrInjectedFault = fmt.Errorf("storage: injected fault")
 
-// NewFaulty wraps s, allowing writesBeforeFault successful object writes.
+// NewFaulty wraps s, allowing writesBeforeFault successful object writes
+// and failing every write after that, forever.
 func NewFaulty(s Store, writesBeforeFault int) (*Faulty, error) {
 	if writesBeforeFault < 0 {
 		return nil, fmt.Errorf("storage: writesBeforeFault %d must be >= 0", writesBeforeFault)
 	}
-	return &Faulty{Store: s, remaining: writesBeforeFault}, nil
+	return &Faulty{Store: s, remaining: writesBeforeFault, failures: -1}, nil
+}
+
+// NewFaultyTransient wraps s, allowing writesBeforeFault successful
+// writes, then failing the next failingWrites attempts, after which
+// writes succeed again. This is the recoverable-fault counterpart of
+// NewFaulty: a bounded outage instead of a dead device.
+func NewFaultyTransient(s Store, writesBeforeFault, failingWrites int) (*Faulty, error) {
+	if writesBeforeFault < 0 {
+		return nil, fmt.Errorf("storage: writesBeforeFault %d must be >= 0", writesBeforeFault)
+	}
+	if failingWrites < 0 {
+		return nil, fmt.Errorf("storage: failingWrites %d must be >= 0", failingWrites)
+	}
+	return &Faulty{Store: s, remaining: writesBeforeFault, failures: failingWrites}, nil
 }
 
 // Tripped reports whether the fault has been hit.
@@ -36,6 +55,13 @@ func (f *Faulty) Tripped() bool {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	return f.failed
+}
+
+// Faults returns the number of writes rejected so far.
+func (f *Faulty) Faults() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.faults
 }
 
 type faultyWriter struct {
@@ -60,10 +86,14 @@ func (w *faultyWriter) Close() error {
 // Create implements Store.
 func (f *Faulty) Create(name string) (io.WriteCloser, error) {
 	f.mu.Lock()
-	doomed := f.remaining <= 0
+	doomed := f.remaining <= 0 && f.failures != 0
 	if doomed {
 		f.failed = true
-	} else {
+		f.faults++
+		if f.failures > 0 {
+			f.failures--
+		}
+	} else if f.remaining > 0 {
 		f.remaining--
 	}
 	f.mu.Unlock()

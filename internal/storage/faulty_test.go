@@ -51,6 +51,50 @@ func TestFaultyAllowsThenFails(t *testing.T) {
 	}
 }
 
+func TestFaultyTransientRecovers(t *testing.T) {
+	if _, err := NewFaultyTransient(NewMem(), 0, -1); err == nil {
+		t.Fatal("want negative-failures error")
+	}
+	f, err := NewFaultyTransient(NewMem(), 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One write succeeds, the next two fail, then the outage clears.
+	if err := WriteObject(f, "a", []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if err := WriteObject(f, "b", []byte("2")); !errors.Is(err, ErrInjectedFault) {
+			t.Fatalf("outage write %d: %v, want injected fault", i, err)
+		}
+	}
+	if err := WriteObject(f, "c", []byte("3")); err != nil {
+		t.Fatalf("write after outage: %v", err)
+	}
+	if !f.Tripped() || f.Faults() != 2 {
+		t.Fatalf("Tripped=%v Faults=%d, want true/2", f.Tripped(), f.Faults())
+	}
+	names, _ := f.List("")
+	if len(names) != 2 {
+		t.Fatalf("store holds %v, want a and c", names)
+	}
+}
+
+func TestFaultyTransientZeroFailuresNeverFaults(t *testing.T) {
+	f, err := NewFaultyTransient(NewMem(), 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := WriteObject(f, "a", []byte("1")); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+	}
+	if f.Tripped() {
+		t.Fatal("zero-failure store tripped")
+	}
+}
+
 func TestFaultyZeroBudgetFailsImmediately(t *testing.T) {
 	f, _ := NewFaulty(NewMem(), 0)
 	if err := WriteObject(f, "a", []byte("1")); !errors.Is(err, ErrInjectedFault) {

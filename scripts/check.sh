@@ -1,0 +1,22 @@
+#!/bin/sh
+# Repository health gate: formatting, vet, and the fault-tolerance test
+# surface under the race detector. Run from the repository root.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== gofmt =="
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go test -race (core, storage, recovery) =="
+go test -race ./internal/core/... ./internal/storage/... ./internal/recovery/...
+
+echo "all checks passed"

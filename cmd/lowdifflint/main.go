@@ -1,0 +1,59 @@
+// Command lowdifflint runs the repository's custom static-analysis passes
+// — determinism, checkederr, floateq, mutexcopy, deferunlock — over the
+// given package patterns and exits 1 on any finding.
+//
+//	lowdifflint ./...
+//	lowdifflint ./internal/sim ./internal/cluster/...
+//	lowdifflint -list
+//
+// Findings print as path:line:col: rule: message. Suppress a single line
+// with a justified directive on it or directly above it:
+//
+//	//lint:allow <rule> <reason>
+//
+// See internal/lint and DESIGN.md §6 for the invariants each rule guards.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"lowdiff/internal/lint"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list analyzers and exit")
+	flag.Parse()
+	if *list {
+		for _, a := range lint.DefaultAnalyzers() {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		fatal(err)
+	}
+	pkgs, err := lint.Load(cwd, patterns)
+	if err != nil {
+		fatal(err)
+	}
+	diags := lint.Run(pkgs, lint.DefaultAnalyzers(), lint.DefaultConfig())
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "lowdifflint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "lowdifflint:", err)
+	os.Exit(2)
+}

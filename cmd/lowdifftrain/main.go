@@ -115,7 +115,7 @@ func main() {
 			fatal(err)
 		}
 		if err := rec.WriteChromeTrace(f); err != nil {
-			f.Close()
+			_ = f.Close() // trace write failed; that error is primary
 			fatal(err)
 		}
 		if err := f.Close(); err != nil {

@@ -264,7 +264,7 @@ func (f *Full) Encode(w io.Writer) error {
 		return err
 	}
 	scalarNames := make([]string, 0, len(f.Opt.Scalars))
-	for k := range f.Opt.Scalars {
+	for k := range f.Opt.Scalars { //lint:allow determinism keys are sorted below; nothing is written in map order
 		scalarNames = append(scalarNames, k)
 	}
 	sort.Strings(scalarNames)
@@ -280,7 +280,7 @@ func (f *Full) Encode(w io.Writer) error {
 		}
 	}
 	slotNames := make([]string, 0, len(f.Opt.Slots))
-	for k := range f.Opt.Slots {
+	for k := range f.Opt.Slots { //lint:allow determinism keys are sorted below; nothing is written in map order
 		slotNames = append(slotNames, k)
 	}
 	sort.Strings(slotNames)
@@ -481,7 +481,7 @@ func SaveFull(s storage.Store, f *Full) (string, error) {
 		return "", err
 	}
 	if err := f.Encode(w); err != nil {
-		w.Close()
+		_ = w.Close() // encode failed; surface that error, not the abort's
 		return "", err
 	}
 	return name, w.Close()
@@ -506,7 +506,7 @@ func SaveDiff(s storage.Store, d *Diff) (string, error) {
 		return "", err
 	}
 	if err := d.Encode(w); err != nil {
-		w.Close()
+		_ = w.Close() // encode failed; surface that error, not the abort's
 		return "", err
 	}
 	return name, w.Close()

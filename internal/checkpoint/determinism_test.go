@@ -1,0 +1,69 @@
+package checkpoint
+
+import (
+	"bytes"
+	"testing"
+)
+
+// encodeFull returns f's exact wire bytes.
+func encodeFull(t *testing.T, f *Full) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := f.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// encodeDiff returns d's exact wire bytes.
+func encodeDiff(t *testing.T, d *Diff) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := d.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// The serialization-determinism invariant the lowdifflint determinism rule
+// guards: encode → decode → encode must reproduce the original bytes
+// exactly. If encoding ever depended on map iteration order (the optimizer
+// Scalars/Slots maps), re-encoding a decoded checkpoint would produce a
+// different byte stream — breaking diff stability, CRC chain validation,
+// and any dedup/replication layered on object bytes.
+func TestFullEncodeIsByteDeterministic(t *testing.T) {
+	for seed := uint64(1); seed <= 5; seed++ {
+		f := sampleFull(t, 96, seed)
+		first := encodeFull(t, f)
+		decoded, err := DecodeFull(bytes.NewReader(first))
+		if err != nil {
+			t.Fatal(err)
+		}
+		second := encodeFull(t, decoded)
+		if !bytes.Equal(first, second) {
+			t.Fatalf("seed %d: re-encoding a decoded full checkpoint changed the bytes (%d vs %d)",
+				seed, len(first), len(second))
+		}
+		// Encoding the same in-memory state twice must also be stable
+		// across map-iteration randomization within one process.
+		if again := encodeFull(t, f); !bytes.Equal(first, again) {
+			t.Fatalf("seed %d: two encodings of the same full checkpoint differ", seed)
+		}
+	}
+}
+
+func TestDiffEncodeIsByteDeterministic(t *testing.T) {
+	for seed := uint64(1); seed <= 5; seed++ {
+		d := sampleDiff(t, 96, seed)
+		first := encodeDiff(t, d)
+		decoded, err := DecodeDiff(bytes.NewReader(first))
+		if err != nil {
+			t.Fatal(err)
+		}
+		second := encodeDiff(t, decoded)
+		if !bytes.Equal(first, second) {
+			t.Fatalf("seed %d: re-encoding a decoded diff checkpoint changed the bytes (%d vs %d)",
+				seed, len(first), len(second))
+		}
+	}
+}

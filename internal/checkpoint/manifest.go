@@ -90,7 +90,11 @@ type Manifest struct {
 }
 
 // Scan lists a store and builds a manifest. Unrecognized object names are
-// ignored (the store may hold other artifacts).
+// ignored (the store may hold other artifacts). The manifest order is
+// independent of the store's listing order: names are re-sorted here and
+// entry ordering is fully tie-broken, so chain reconstruction — and
+// therefore recovery — is deterministic even over a store that ignores
+// the List contract.
 func Scan(s storage.Store) (*Manifest, error) {
 	var m Manifest
 	for _, prefix := range []string{"full-", "diff-"} {
@@ -98,6 +102,7 @@ func Scan(s storage.Store) (*Manifest, error) {
 		if err != nil {
 			return nil, err
 		}
+		sort.Strings(names)
 		for _, name := range names {
 			e, err := ParseName(name)
 			if err != nil {
@@ -110,8 +115,22 @@ func Scan(s storage.Store) (*Manifest, error) {
 			}
 		}
 	}
-	sort.Slice(m.Fulls, func(i, j int) bool { return m.Fulls[i].Iter < m.Fulls[j].Iter })
-	sort.Slice(m.Diffs, func(i, j int) bool { return m.Diffs[i].FirstIter < m.Diffs[j].FirstIter })
+	sort.Slice(m.Fulls, func(i, j int) bool {
+		if m.Fulls[i].Iter != m.Fulls[j].Iter {
+			return m.Fulls[i].Iter < m.Fulls[j].Iter
+		}
+		return m.Fulls[i].Name < m.Fulls[j].Name
+	})
+	sort.Slice(m.Diffs, func(i, j int) bool {
+		a, b := m.Diffs[i], m.Diffs[j]
+		if a.FirstIter != b.FirstIter {
+			return a.FirstIter < b.FirstIter
+		}
+		if a.LastIter != b.LastIter {
+			return a.LastIter < b.LastIter
+		}
+		return a.Name < b.Name
+	})
 	return &m, nil
 }
 

@@ -210,7 +210,8 @@ func topKIndices(g tensor.Vector, k int) []int32 {
 	// less reports whether a is weaker than b (kept-set comparison).
 	less := func(a, b int32) bool {
 		av, bv := abs(a), abs(b)
-		if av != bv {
+		if av != bv { //lint:allow floateq exact tie-break: equal magnitudes must fall through to the index rule for deterministic top-k
+
 			return av < bv
 		}
 		return a > b // higher index is weaker on ties

@@ -1,0 +1,241 @@
+// Package lint is a small, from-scratch static-analysis framework built
+// directly on go/ast, go/parser, and go/types (no external dependencies),
+// plus the codebase-specific analyzers that enforce LowDiff's correctness
+// invariants:
+//
+//   - determinism: no wall-clock reads, global math/rand, or unsorted map
+//     iteration in the declared-deterministic packages. The discrete-event
+//     simulator must replay identically and the checkpoint encoder must
+//     emit byte-identical output for equal states, or differential
+//     checkpoints stop being diffable and CRC chain validation breaks.
+//   - checkederr: no silently dropped error results from writes, Close,
+//     Sync, Delete, and friends. A dropped storage error is silent
+//     durability loss: the trainer believes a checkpoint persisted when it
+//     did not.
+//   - floateq: no ==/!= on floating-point operands outside an explicit
+//     allowlist of bit-exact comparison helpers. Bit-exact recovery is
+//     verified by comparing float bit patterns, not approximate values.
+//   - mutexcopy / deferunlock: no locks passed by value, no Lock without a
+//     paired Unlock in the same function.
+//
+// Findings can be suppressed per line with a directive comment:
+//
+//	//lint:allow <rule>[,<rule>...] <reason>
+//
+// placed on the offending line or the line directly above it. The reason
+// is mandatory; a bare directive is itself reported (rule "lintdirective").
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Diagnostic is one finding, positioned relative to the load root.
+type Diagnostic struct {
+	File    string // path relative to the load root
+	Line    int
+	Col     int
+	Rule    string
+	Message string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.File, d.Line, d.Col, d.Rule, d.Message)
+}
+
+// Analyzer is one lint pass over a type-checked package.
+type Analyzer struct {
+	Name string // rule name used in diagnostics and //lint:allow directives
+	Doc  string
+	Run  func(*Pass)
+}
+
+// Pass hands an analyzer one package plus the reporting sink.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+	Config   *Config
+	report   func(Diagnostic)
+}
+
+// Reportf records a finding at pos under the pass's rule name.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	file, line, col := p.Pkg.Position(pos)
+	p.report(Diagnostic{
+		File:    file,
+		Line:    line,
+		Col:     col,
+		Rule:    p.Analyzer.Name,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// Config parameterizes the analyzers so the same passes can run over the
+// real module and over test fixtures.
+type Config struct {
+	// DeterministicPkgs lists import paths where the determinism analyzer
+	// applies. An entry covers the package itself and everything beneath
+	// it ("m/sim" covers "m/sim" and "m/sim/inner").
+	DeterministicPkgs []string
+	// FloatEqAllowFuncs lists functions permitted to compare floats with
+	// ==/!=: "pkgpath.Func" for functions, "pkgpath.Type.Method" for
+	// methods. These are the designated bit-exact comparison helpers.
+	FloatEqAllowFuncs []string
+}
+
+// DefaultConfig returns the configuration enforced on this repository.
+func DefaultConfig() *Config {
+	return &Config{
+		DeterministicPkgs: []string{
+			"lowdiff/internal/sim",
+			"lowdiff/internal/timemodel",
+			"lowdiff/internal/cluster",
+			"lowdiff/internal/checkpoint",
+		},
+		FloatEqAllowFuncs: []string{
+			"lowdiff/internal/tensor.Vector.Equal",
+		},
+	}
+}
+
+// DefaultAnalyzers returns every analyzer, in reporting order.
+func DefaultAnalyzers() []*Analyzer {
+	return []*Analyzer{
+		DeterminismAnalyzer,
+		CheckedErrAnalyzer,
+		FloatEqAnalyzer,
+		MutexCopyAnalyzer,
+		DeferUnlockAnalyzer,
+	}
+}
+
+func (c *Config) deterministic(pkgPath string) bool {
+	for _, p := range c.DeterministicPkgs {
+		if pkgPath == p || strings.HasPrefix(pkgPath, p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// Run executes the analyzers over the packages, applies //lint:allow
+// suppressions, and returns the surviving diagnostics sorted by position.
+func Run(pkgs []*Package, analyzers []*Analyzer, cfg *Config) []Diagnostic {
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		sup, supDiags := collectSuppressions(pkg, known)
+		diags = append(diags, supDiags...)
+		for _, a := range analyzers {
+			pass := &Pass{Analyzer: a, Pkg: pkg, Config: cfg}
+			pass.report = func(d Diagnostic) {
+				if !sup.allows(d) {
+					diags = append(diags, d)
+				}
+			}
+			a.Run(pass)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Rule < b.Rule
+	})
+	return diags
+}
+
+// suppressions maps "file:line" to the set of rules allowed on that line.
+type suppressions map[string]map[string]bool
+
+func (s suppressions) allows(d Diagnostic) bool {
+	rules, ok := s[d.File+":"+strconv.Itoa(d.Line)]
+	return ok && rules[d.Rule]
+}
+
+const allowDirective = "lint:allow"
+
+// collectSuppressions scans a package's comments for //lint:allow
+// directives. A directive suppresses the named rules on its own line and
+// on the line directly below (so it can trail the offending statement or
+// sit on its own line above it). Malformed directives — no rules, an
+// unknown rule, or a missing reason — are reported as diagnostics so
+// suppressions stay auditable.
+func collectSuppressions(pkg *Package, known map[string]bool) (suppressions, []Diagnostic) {
+	sup := make(suppressions)
+	var diags []Diagnostic
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//"+allowDirective)
+				if !ok {
+					continue
+				}
+				file, line, col := pkg.Position(c.Pos())
+				bad := func(format string, args ...any) {
+					diags = append(diags, Diagnostic{
+						File: file, Line: line, Col: col,
+						Rule:    "lintdirective",
+						Message: fmt.Sprintf(format, args...),
+					})
+				}
+				fields := strings.Fields(text)
+				if len(fields) == 0 {
+					bad("lint:allow directive names no rules")
+					continue
+				}
+				if len(fields) < 2 {
+					bad("lint:allow directive is missing a reason")
+					continue
+				}
+				rules := strings.Split(fields[0], ",")
+				valid := true
+				for _, r := range rules {
+					if !known[r] {
+						bad("lint:allow names unknown rule %q", r)
+						valid = false
+					}
+				}
+				if !valid {
+					continue
+				}
+				endFile, endLine, _ := pkg.Position(c.End())
+				for _, key := range []string{
+					endFile + ":" + strconv.Itoa(endLine),
+					endFile + ":" + strconv.Itoa(endLine+1),
+				} {
+					set := sup[key]
+					if set == nil {
+						set = make(map[string]bool)
+						sup[key] = set
+					}
+					for _, r := range rules {
+						set[r] = true
+					}
+				}
+			}
+		}
+	}
+	return sup, diags
+}
+
+// isBlank reports whether e is the blank identifier.
+func isBlank(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}

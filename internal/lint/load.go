@@ -1,0 +1,296 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Package is one parsed, type-checked package from the loaded module.
+type Package struct {
+	Path  string // import path
+	Dir   string // absolute directory
+	Fset  *token.FileSet
+	Files []*ast.File // non-test sources, in filename order
+	Types *types.Package
+	Info  *types.Info
+
+	root string // load root, for relative diagnostic paths
+}
+
+// Position resolves pos to a load-root-relative file path, line, and column.
+func (p *Package) Position(pos token.Pos) (file string, line, col int) {
+	ps := p.Fset.Position(pos)
+	file = ps.Filename
+	if rel, err := filepath.Rel(p.root, ps.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+		file = filepath.ToSlash(rel)
+	}
+	return file, ps.Line, ps.Column
+}
+
+// Load parses and type-checks the Go module containing dir and returns the
+// packages matched by patterns ("./...", "./sub/...", "./sub", "."),
+// resolved relative to dir. The whole module is type-checked so that
+// matched packages can import unmatched ones; only matched packages are
+// returned. Test files are not loaded: the invariants the analyzers
+// enforce guard production code paths, and tests legitimately use wall
+// clocks and drop errors.
+//
+// Standard-library imports are type-checked from $GOROOT source via the
+// stdlib "source" importer; module-local imports resolve to the packages
+// loaded here, type-checked in dependency order.
+func Load(dir string, patterns []string) ([]*Package, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	root, modPath, err := findModule(dir)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	raw, err := parseModule(fset, root, modPath)
+	if err != nil {
+		return nil, err
+	}
+	if err := typeCheck(fset, raw); err != nil {
+		return nil, err
+	}
+	match, err := compileMatcher(dir, root, patterns)
+	if err != nil {
+		return nil, err
+	}
+	var out []*Package
+	for _, p := range raw {
+		if match(p.Dir) {
+			out = append(out, p)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	if len(out) == 0 {
+		return nil, fmt.Errorf("lint: no packages match %v under %s", patterns, dir)
+	}
+	return out, nil
+}
+
+// findModule walks up from dir to the enclosing go.mod and returns the
+// module root and module path.
+func findModule(dir string) (root, modPath string, err error) {
+	for d := dir; ; {
+		data, err := os.ReadFile(filepath.Join(d, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "module"); ok {
+					mp := strings.TrimSpace(rest)
+					if unq, err := strconv.Unquote(mp); err == nil {
+						mp = unq
+					}
+					if mp != "" {
+						return d, mp, nil
+					}
+				}
+			}
+			return "", "", fmt.Errorf("lint: %s/go.mod has no module directive", d)
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", "", fmt.Errorf("lint: no go.mod found above %s", dir)
+		}
+		d = parent
+	}
+}
+
+// parseModule walks the module tree and parses every package's non-test
+// sources. Directories named testdata or vendor, hidden/underscore
+// directories, and nested modules are skipped, mirroring the go tool.
+func parseModule(fset *token.FileSet, root, modPath string) ([]*Package, error) {
+	var pkgs []*Package
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root {
+			if name == "testdata" || name == "vendor" ||
+				strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+				return filepath.SkipDir
+			}
+			if _, err := os.Stat(filepath.Join(path, "go.mod")); err == nil {
+				return filepath.SkipDir // nested module
+			}
+		}
+		pkg, err := parseDir(fset, root, modPath, path)
+		if err != nil {
+			return err
+		}
+		if pkg != nil {
+			pkgs = append(pkgs, pkg)
+		}
+		return nil
+	})
+	return pkgs, err
+}
+
+// parseDir parses one directory's non-test Go files; nil if it holds none.
+func parseDir(fset *token.FileSet, root, modPath, dir string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+			strings.HasSuffix(name, "_test.go") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, nil
+	}
+	path := modPath
+	if dir != root {
+		rel, err := filepath.Rel(root, dir)
+		if err != nil {
+			return nil, err
+		}
+		path = modPath + "/" + filepath.ToSlash(rel)
+	}
+	return &Package{Path: path, Dir: dir, Fset: fset, Files: files, root: root}, nil
+}
+
+// moduleImporter resolves module-local imports from the packages loaded
+// here and everything else (the standard library) from $GOROOT source.
+type moduleImporter struct {
+	std   types.Importer
+	local map[string]*types.Package
+}
+
+func (m *moduleImporter) Import(path string) (*types.Package, error) {
+	if p, ok := m.local[path]; ok {
+		if p == nil {
+			return nil, fmt.Errorf("lint: import cycle through %q", path)
+		}
+		return p, nil
+	}
+	return m.std.Import(path)
+}
+
+// typeCheck type-checks all packages in module dependency order, filling
+// each Package's Types and Info.
+func typeCheck(fset *token.FileSet, pkgs []*Package) error {
+	byPath := make(map[string]*Package, len(pkgs))
+	for _, p := range pkgs {
+		byPath[p.Path] = p
+	}
+	imp := &moduleImporter{
+		std:   importer.ForCompiler(fset, "source", nil),
+		local: make(map[string]*types.Package, len(pkgs)),
+	}
+	conf := types.Config{Importer: imp}
+
+	var check func(p *Package) error
+	checking := make(map[string]bool)
+	check = func(p *Package) error {
+		if p.Types != nil {
+			return nil
+		}
+		if checking[p.Path] {
+			return fmt.Errorf("lint: import cycle through %q", p.Path)
+		}
+		checking[p.Path] = true
+		defer delete(checking, p.Path)
+		for _, f := range p.Files {
+			for _, spec := range f.Imports {
+				ipath, err := strconv.Unquote(spec.Path.Value)
+				if err != nil {
+					continue
+				}
+				if dep, ok := byPath[ipath]; ok {
+					if err := check(dep); err != nil {
+						return err
+					}
+				}
+			}
+		}
+		p.Info = &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		}
+		tp, err := conf.Check(p.Path, fset, p.Files, p.Info)
+		if err != nil {
+			return fmt.Errorf("lint: type-check %s: %w", p.Path, err)
+		}
+		p.Types = tp
+		imp.local[p.Path] = tp
+		return nil
+	}
+	for _, p := range pkgs {
+		if err := check(p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// compileMatcher turns go-style package patterns into a directory matcher.
+func compileMatcher(cwd, root string, patterns []string) (func(dir string) bool, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	type pat struct {
+		dir       string
+		recursive bool
+	}
+	var pats []pat
+	for _, raw := range patterns {
+		p := raw
+		recursive := false
+		if p == "..." {
+			p, recursive = ".", true
+		} else if rest, ok := strings.CutSuffix(p, "/..."); ok {
+			p, recursive = rest, true
+		}
+		if p == "" {
+			p = "."
+		}
+		abs := p
+		if !filepath.IsAbs(abs) {
+			abs = filepath.Join(cwd, p)
+		}
+		abs = filepath.Clean(abs)
+		if rel, err := filepath.Rel(root, abs); err != nil || strings.HasPrefix(rel, "..") {
+			return nil, fmt.Errorf("lint: pattern %q resolves outside module root %s", raw, root)
+		}
+		pats = append(pats, pat{dir: abs, recursive: recursive})
+	}
+	return func(dir string) bool {
+		for _, p := range pats {
+			if dir == p.dir {
+				return true
+			}
+			if p.recursive && strings.HasPrefix(dir, p.dir+string(filepath.Separator)) {
+				return true
+			}
+		}
+		return false
+	}, nil
+}

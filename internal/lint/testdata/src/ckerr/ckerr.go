@@ -1,0 +1,51 @@
+// Package ckerr is a lint fixture for dropped error results on the
+// persistence surface: bare Write/Close/Remove statements, defer-Close on
+// writers, and the accepted counterparts (checked errors, explicit blank
+// assignment, reader closes, documented-infallible writers).
+package ckerr
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"io"
+	"os"
+)
+
+// Drop discards Write, Close, and Remove errors (three violations).
+func Drop(w io.WriteCloser, path string) {
+	w.Write([]byte("x"))
+	w.Close()
+	os.Remove(path)
+}
+
+// DeferredWriterClose defers Close on a writer (violation).
+func DeferredWriterClose(w io.WriteCloser) error {
+	defer w.Close()
+	_, err := w.Write([]byte("x"))
+	return err
+}
+
+// Checked handles or explicitly blanks every error (allowed).
+func Checked(w io.WriteCloser) error {
+	if _, err := w.Write([]byte("x")); err != nil {
+		_ = w.Close()
+		return err
+	}
+	return w.Close()
+}
+
+// ReaderClose defers Close on a reader, which has no buffered data to
+// lose (allowed).
+func ReaderClose(r io.ReadCloser) ([]byte, error) {
+	defer r.Close()
+	return io.ReadAll(r)
+}
+
+// Infallible writes to types documented to never fail (allowed).
+func Infallible(data []byte) int {
+	var buf bytes.Buffer
+	buf.Write(data)
+	h := sha256.New()
+	h.Write(data)
+	return buf.Len() + len(h.Sum(nil))
+}

@@ -1,0 +1,61 @@
+// Package det is a lint fixture: a declared-deterministic package holding
+// wall-clock, global-rand, and map-iteration violations next to their
+// accepted counterparts.
+package det
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Stamp reads the wall clock (violation).
+func Stamp() time.Time {
+	return time.Now()
+}
+
+// Age reads the wall clock through Since (violation).
+func Age(t time.Time) time.Duration {
+	return time.Since(t)
+}
+
+// Jitter draws from process-global random state (violation).
+func Jitter() float64 {
+	return rand.Float64()
+}
+
+// SeededJitter builds an explicitly seeded generator (allowed) but then
+// shuffles through the global source (violation).
+func SeededJitter(seed int64) float64 {
+	r := rand.New(rand.NewSource(seed))
+	rand.Shuffle(1, func(i, j int) {})
+	return r.Float64()
+}
+
+// Sum binds map values during iteration (violation).
+func Sum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// Count observes only the map's length (allowed).
+func Count(m map[string]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+// SortedWalk ranges over a sorted key slice (allowed: slice iteration).
+func SortedWalk(keys []string, m map[string]int) int {
+	sort.Strings(keys)
+	total := 0
+	for _, k := range keys {
+		total += m[k]
+	}
+	return total
+}

@@ -1,0 +1,53 @@
+// Package floats is a lint fixture for float equality: raw ==/!= on
+// computed floats is reported; constant guards and the allowlisted
+// bit-exact helpers are not.
+package floats
+
+import "math"
+
+// Same compares computed floats directly (violation).
+func Same(a, b float64) bool {
+	return a == b
+}
+
+// Drifted compares computed float32s directly (violation).
+func Drifted(a, b float32) bool {
+	return a != b
+}
+
+// ZeroGuard compares against compile-time constants (allowed).
+func ZeroGuard(x float64) float64 {
+	if x == 0 {
+		return 1
+	}
+	if x != 2.5 {
+		return -x
+	}
+	return 0
+}
+
+// BitEqual is the allowlisted bit-exact helper (allowed).
+func BitEqual(a, b float64) bool {
+	return math.Float64bits(a) == math.Float64bits(b) && a == b
+}
+
+// Vec carries the allowlisted method case.
+type Vec []float64
+
+// BitEq is allowlisted as Vec's comparison method (allowed).
+func (v Vec) BitEq(x Vec) bool {
+	if len(v) != len(x) {
+		return false
+	}
+	for i := range v {
+		if v[i] != x[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// IntsOK compares integers (allowed).
+func IntsOK(a, b int) bool {
+	return a == b
+}

@@ -1,0 +1,13 @@
+// Package a is the imported half of the multi-package lint fixture; the
+// fixture/multi tree is declared deterministic.
+package a
+
+import "time"
+
+// Table is a named map type ranged over by package b.
+type Table map[string]int
+
+// Clock reads the wall clock in the imported package (violation).
+func Clock() time.Time {
+	return time.Now()
+}

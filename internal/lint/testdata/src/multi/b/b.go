@@ -1,0 +1,15 @@
+// Package b imports its sibling, so reporting here requires the
+// module-local import to type-check.
+package b
+
+import "fixture/multi/a"
+
+// SumTable ranges over the named map type imported from package a
+// (violation that only resolves with cross-package type information).
+func SumTable(t a.Table) int {
+	n := 0
+	for _, v := range t {
+		n += v
+	}
+	return n
+}

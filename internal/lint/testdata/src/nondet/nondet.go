@@ -1,0 +1,28 @@
+// Package nondet is a lint fixture: the same wall-clock, global-rand, and
+// map-iteration patterns as package det, in a package that is NOT declared
+// deterministic — none of them may be reported.
+package nondet
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Stamp may read the wall clock here.
+func Stamp() time.Time {
+	return time.Now()
+}
+
+// Jitter may use global random state here.
+func Jitter() float64 {
+	return rand.Float64()
+}
+
+// Sum may iterate a map here.
+func Sum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,42 @@
+// Package suppress is a lint fixture for //lint:allow directives: trailing
+// and leading placement, multi-rule directives, and the malformed shapes
+// that are themselves reported and suppress nothing.
+package suppress
+
+import "io"
+
+// TrailingAllow suppresses on the offending line (no finding).
+func TrailingAllow(a, b float64) bool {
+	return a == b //lint:allow floateq fixture: exact comparison is the point here
+}
+
+// LeadingAllow suppresses from the line above (no finding).
+func LeadingAllow(w io.WriteCloser) {
+	//lint:allow checkederr fixture: error intentionally dropped
+	w.Close()
+}
+
+// WrongRule names a rule that did not fire here, so the floateq finding
+// survives (violation).
+func WrongRule(a, b float64) bool {
+	return a != b //lint:allow checkederr fixture: names the wrong rule
+}
+
+// MissingReason is malformed — reported as lintdirective — and suppresses
+// nothing, so the floateq finding survives too (two findings).
+func MissingReason(a, b float64) bool {
+	return a == b //lint:allow floateq
+}
+
+// UnknownRule is malformed — reported as lintdirective — and suppresses
+// nothing (two findings).
+func UnknownRule(a, b float64) bool {
+	return a == b //lint:allow nosuchrule fixture: rule does not exist
+}
+
+// MultiRule suppresses two rules with one directive; the directive covers
+// its own line and the next (no findings).
+func MultiRule(w io.WriteCloser, a, b float64) bool {
+	defer w.Close() //lint:allow checkederr,floateq fixture: both rules waived for this pair of lines
+	return a == b
+}

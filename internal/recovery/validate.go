@@ -148,7 +148,7 @@ func loadDiff(store storage.Store, name string, attempts int) (*checkpoint.Diff,
 func quarantine(store storage.Store, name string) error {
 	if r, err := store.Open(name); err == nil {
 		data, _ := io.ReadAll(r) // partial reads still preserve a prefix
-		r.Close()
+		_ = r.Close()            // forensic read is best effort anyway
 		if err := storage.WriteObject(store, QuarantinePrefix+name, data); err != nil {
 			return fmt.Errorf("recovery: quarantine copy %s: %w", name, err)
 		}

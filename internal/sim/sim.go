@@ -86,7 +86,8 @@ type eventHeap []*event
 
 func (h eventHeap) Len() int { return len(h) }
 func (h eventHeap) Less(i, j int) bool {
-	if h[i].time != h[j].time {
+	if h[i].time != h[j].time { //lint:allow floateq exact tie-break: only identical times may fall through to FIFO sequence order
+
 		return h[i].time < h[j].time
 	}
 	return h[i].seq < h[j].seq

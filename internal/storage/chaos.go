@@ -213,7 +213,7 @@ func (c *Chaos) Open(name string) (io.ReadCloser, error) {
 		return r, err
 	}
 	data, err := io.ReadAll(r)
-	r.Close()
+	_ = r.Close() // fully drained; the data, not the close, decides the fault
 	if err != nil {
 		return nil, err
 	}

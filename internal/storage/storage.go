@@ -47,7 +47,7 @@ func WriteObject(s Store, name string, data []byte) error {
 		return err
 	}
 	if _, err := w.Write(data); err != nil {
-		w.Close()
+		_ = w.Close() // write failed; surface that error, not the abort's
 		return err
 	}
 	return w.Close()
@@ -221,12 +221,12 @@ func (w *fileWriter) Close() error {
 	}
 	w.closed = true
 	if err := w.f.Sync(); err != nil {
-		w.f.Close()
-		os.Remove(w.tmp)
+		_ = w.f.Close()      // already failing; sync error is primary
+		_ = os.Remove(w.tmp) // best-effort cleanup of the staged temp
 		return err
 	}
 	if err := w.f.Close(); err != nil {
-		os.Remove(w.tmp)
+		_ = os.Remove(w.tmp) // best-effort cleanup of the staged temp
 		return err
 	}
 	return os.Rename(w.tmp, w.final)

@@ -1,6 +1,7 @@
 #!/bin/sh
-# Repository health gate: formatting, vet, and the fault-tolerance test
-# surface under the race detector. Run from the repository root.
+# Repository health gate: formatting, vet, the custom lowdifflint
+# invariant analyzers, and the fault-tolerance test surface under the
+# race detector. Run from the repository root.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -15,6 +16,9 @@ fi
 
 echo "== go vet =="
 go vet ./...
+
+echo "== lowdifflint (determinism, checkederr, floateq, mutexcopy, deferunlock) =="
+go run ./cmd/lowdifflint ./...
 
 echo "== go test -race (core, storage, recovery) =="
 go test -race ./internal/core/... ./internal/storage/... ./internal/recovery/...

@@ -1,0 +1,31 @@
+// Command benchfmt converts `go test -bench` output on stdin into the
+// repository's BENCH_*.json baseline format on stdout: benchmark name →
+// ns/op, B/op, allocs/op, with deterministic (sorted) key order.
+//
+//	go test -run '^$' -bench . -benchmem ./... | benchfmt > BENCH_obs.json
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"lowdiff/internal/obs"
+)
+
+func main() {
+	results, err := obs.ParseBench(os.Stdin)
+	if err != nil {
+		fatal(err)
+	}
+	if len(results) == 0 {
+		fatal(fmt.Errorf("no benchmark results on stdin"))
+	}
+	if err := obs.WriteBenchJSON(os.Stdout, results); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchfmt:", err)
+	os.Exit(1)
+}

@@ -16,6 +16,7 @@ import (
 	"strings"
 
 	"lowdiff/internal/experiments"
+	"lowdiff/internal/obs"
 )
 
 func main() {
@@ -23,13 +24,37 @@ func main() {
 	exp := flag.String("exp", "", "comma-separated experiment IDs to run")
 	all := flag.Bool("all", false, "run every experiment")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	opsAddr := flag.String("ops-addr", "", "serve /metrics, /healthz, /snapshot, and pprof on this address while experiments run (empty: off)")
 	flag.Parse()
+
+	var reg *obs.Registry
+	if *opsAddr != "" {
+		reg = obs.New()
+		srv, err := obs.Serve(*opsAddr, obs.ServerOptions{
+			Registry: reg,
+			Health:   func() obs.HealthStatus { return obs.HealthStatus{Status: "ok", OK: true} },
+		})
+		if err != nil {
+			fatal(err)
+		}
+		defer func() { _ = srv.Close() }()
+		fmt.Fprintf(os.Stderr, "ops endpoint on http://%s (/metrics, /healthz, /snapshot, /debug/pprof)\n", srv.Addr())
+	}
 
 	render := func(t *experiments.Table) error {
 		if *csv {
 			return t.RenderCSV(os.Stdout)
 		}
 		return t.Render(os.Stdout)
+	}
+	runOne := func(id string) (*experiments.Table, error) {
+		var t *experiments.Table
+		var err error
+		reg.Timer("bench.experiment_seconds", obs.L("id", id)).Time(func() {
+			t, err = experiments.Run(id)
+		})
+		reg.Counter("bench.experiments").Inc()
+		return t, err
 	}
 
 	switch {
@@ -38,18 +63,18 @@ func main() {
 			fmt.Println(id)
 		}
 	case *all:
-		tabs, err := experiments.RunAll()
-		if err != nil {
-			fatal(err)
-		}
-		for _, t := range tabs {
+		for _, id := range experiments.IDs() {
+			t, err := runOne(id)
+			if err != nil {
+				fatal(fmt.Errorf("%s: %w", id, err))
+			}
 			if err := render(t); err != nil {
 				fatal(err)
 			}
 		}
 	case *exp != "":
 		for _, id := range strings.Split(*exp, ",") {
-			t, err := experiments.Run(strings.TrimSpace(id))
+			t, err := runOne(strings.TrimSpace(id))
 			if err != nil {
 				fatal(err)
 			}

@@ -7,6 +7,8 @@
 //	lowdifftrain -model GPT2-S -scale 2000 -iters 200 -dir /tmp/ckpts -crash 130
 //	lowdifftrain -dir /tmp/ckpts -recover            # inspect recoverable state
 //	lowdifftrain -model GPT2-L -plus -iters 100      # LowDiff+ (no compression)
+//	lowdifftrain -iters 5000 -ops-addr :9090         # live /metrics, /healthz, pprof
+//	lowdifftrain -iters 200 -events run.jsonl        # structured run telemetry
 package main
 
 import (
@@ -16,6 +18,7 @@ import (
 
 	"lowdiff/internal/core"
 	"lowdiff/internal/model"
+	"lowdiff/internal/obs"
 	"lowdiff/internal/recovery"
 	"lowdiff/internal/storage"
 	"lowdiff/internal/trace"
@@ -37,6 +40,8 @@ func main() {
 	plus := flag.Bool("plus", false, "run the LowDiff+ engine (no compression)")
 	seed := flag.Uint64("seed", 42, "deterministic seed")
 	traceOut := flag.String("trace", "", "write a Chrome trace of the run to this file")
+	opsAddr := flag.String("ops-addr", "", "serve /metrics, /healthz, /snapshot, and pprof on this address (empty: off)")
+	eventsOut := flag.String("events", "", "append structured JSONL run events to this file (empty: off)")
 	flag.Parse()
 
 	var store storage.Store = storage.NewMem()
@@ -77,8 +82,37 @@ func main() {
 	fmt.Printf("workload %s scaled 1/%d: %d parameters, %d layers, %d workers\n",
 		spec.Name, *scale, scaled.NumParams(), len(scaled.Layers), *workers)
 
+	var reg *obs.Registry
+	if *opsAddr != "" {
+		reg = obs.New()
+	}
+	var events *obs.EventLog
+	var eventsFile *os.File
+	if *eventsOut != "" {
+		f, err := os.Create(*eventsOut)
+		if err != nil {
+			fatal(err)
+		}
+		eventsFile = f
+		events = obs.NewEventLog(f)
+	}
+	closeEvents := func() {
+		if eventsFile == nil {
+			return
+		}
+		if err := events.Err(); err != nil {
+			fatal(err)
+		}
+		if err := eventsFile.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%d events written to %s\n", events.Seq(), *eventsOut)
+		eventsFile = nil
+	}
+
 	if *plus {
-		runPlus(scaled, store, *workers, *iters, *seed)
+		runPlus(scaled, store, *workers, *iters, *seed, *opsAddr, reg, events)
+		closeEvents()
 		return
 	}
 
@@ -89,10 +123,24 @@ func main() {
 	e, err := core.NewEngine(core.Options{
 		Spec: scaled, Workers: *workers, Optimizer: *optName, Rho: *rho,
 		Store: store, FullEvery: *fullEvery, BatchSize: *batch, Seed: *seed,
-		Trace: rec,
+		Trace: rec, Metrics: reg, Events: events,
 	})
 	if err != nil {
 		fatal(err)
+	}
+	if *opsAddr != "" {
+		srv, err := obs.Serve(*opsAddr, obs.ServerOptions{
+			Registry: reg,
+			Health: func() obs.HealthStatus {
+				h := e.Health()
+				return obs.HealthStatus{Status: h.String(), OK: h != core.HealthDegraded}
+			},
+		})
+		if err != nil {
+			fatal(err)
+		}
+		defer func() { _ = srv.Close() }()
+		fmt.Printf("ops endpoint on http://%s (/metrics, /healthz, /snapshot, /debug/pprof)\n", srv.Addr())
 	}
 
 	run := *iters
@@ -123,18 +171,34 @@ func main() {
 		}
 		fmt.Printf("timeline (%s) written to %s\n", rec.Summary(), *traceOut)
 	}
+	closeEvents()
 	if *crash > 0 && *crash < *iters {
 		fmt.Printf("simulated crash at iteration %d; recover with:\n  lowdifftrain -dir %s -recover\n", run, *dir)
 		os.Exit(1)
 	}
 }
 
-func runPlus(spec model.Spec, store storage.Store, workers, iters int, seed uint64) {
+func runPlus(spec model.Spec, store storage.Store, workers, iters int, seed uint64,
+	opsAddr string, reg *obs.Registry, events *obs.EventLog) {
 	e, err := core.NewPlusEngine(core.PlusOptions{
 		Spec: spec, Workers: workers, Store: store, PersistEvery: 10, Seed: seed,
+		Metrics: reg, Events: events,
 	})
 	if err != nil {
 		fatal(err)
+	}
+	if opsAddr != "" {
+		// LowDiff+ has no degradation ladder; the endpoint reports ok while
+		// the process is up.
+		srv, err := obs.Serve(opsAddr, obs.ServerOptions{
+			Registry: reg,
+			Health:   func() obs.HealthStatus { return obs.HealthStatus{Status: "ok", OK: true} },
+		})
+		if err != nil {
+			fatal(err)
+		}
+		defer func() { _ = srv.Close() }()
+		fmt.Printf("ops endpoint on http://%s (/metrics, /healthz, /snapshot, /debug/pprof)\n", srv.Addr())
 	}
 	fmt.Printf("initial loss %.4f\n", e.Loss())
 	stats, err := e.Run(iters)

@@ -6,6 +6,7 @@ import (
 	"lowdiff/internal/checkpoint"
 	"lowdiff/internal/compress"
 	"lowdiff/internal/metrics"
+	"lowdiff/internal/obs"
 	"lowdiff/internal/storage"
 )
 
@@ -34,6 +35,10 @@ type BatchedWriter struct {
 	// before the first Add.
 	Retry   *RetryPolicy
 	OnRetry func(attempt int, err error)
+
+	// Events, when non-nil, receives a ckpt.diff.persist event for every
+	// flushed batch. Set it before the first Add.
+	Events *obs.EventLog
 
 	// Writes counts store writes, Batches full-size flushes, Bytes the
 	// payload bytes persisted; PendingBytes gauges CPU-buffer occupancy
@@ -130,6 +135,10 @@ func (w *BatchedWriter) flush() error {
 	w.Writes.Inc()
 	w.Bytes.Add(merged.Bytes())
 	w.PendingBytes.Set(0)
+	w.Events.Emit("ckpt.diff.persist", map[string]any{
+		"first": d.FirstIter, "last": d.LastIter,
+		"count": len(w.pending), "bytes": merged.Bytes(),
+	})
 	w.pending = w.pending[:0]
 	return nil
 }

@@ -12,6 +12,7 @@ import (
 	"lowdiff/internal/grad"
 	"lowdiff/internal/metrics"
 	"lowdiff/internal/model"
+	"lowdiff/internal/obs"
 	"lowdiff/internal/optim"
 	"lowdiff/internal/storage"
 	"lowdiff/internal/tensor"
@@ -80,6 +81,16 @@ type Options struct {
 	// synchronization, queue hand-offs, checkpoint writes) exportable as a
 	// Chrome trace. Nil disables tracing with zero overhead.
 	Trace *trace.Recorder
+
+	// Metrics, when non-nil, registers the engine's live instruments
+	// (engine.*, ckpt.*, queue.*, fault.*) for export through the obs
+	// endpoints; the registrations read the engine's existing counters,
+	// so the hot paths are untouched. Nil disables registration.
+	Metrics *obs.Registry
+	// Events, when non-nil, receives structured run lifecycle events:
+	// run start/end, iteration milestones, full/diff persists, retries,
+	// fallbacks, and health-ladder transitions. Nil disables emission.
+	Events *obs.EventLog
 }
 
 func (o Options) withDefaults() Options {
@@ -132,7 +143,11 @@ type Engine struct {
 	comps  []compress.Compressor
 
 	writer *BatchedWriter
-	iter   int64 // completed iterations
+	iter   int64        // completed iterations
+	live   atomic.Int64 // newest iteration worker 0 has entered (live gauge)
+
+	events     *obs.EventLog
+	fullWrites metrics.Counter // full checkpoints persisted, across Run calls
 
 	// Fault-tolerance state (active when opts.FaultTolerance != nil).
 	ft           *FaultToleranceOptions
@@ -175,7 +190,7 @@ func NewEngine(opts Options) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	e := &Engine{opts: opts, oracle: oracle, group: group, ft: opts.FaultTolerance}
+	e := &Engine{opts: opts, oracle: oracle, group: group, ft: opts.FaultTolerance, events: opts.Events}
 	e.lastFullIter.Store(-1)
 	n := opts.Spec.NumParams()
 	for w := 0; w < opts.Workers; w++ {
@@ -220,11 +235,64 @@ func NewEngine(opts Options) (*Engine, error) {
 		if e.ft != nil {
 			retry := e.ft.Retry
 			w.Retry = &retry
-			w.OnRetry = func(int, error) { e.faults.DiffRetries.Inc() }
+			w.OnRetry = func(attempt int, err error) {
+				e.faults.DiffRetries.Inc()
+				e.events.Emit("ckpt.diff.retry", map[string]any{"attempt": attempt, "error": err.Error()})
+			}
 		}
+		w.Events = opts.Events
 		e.writer = w
 	}
+	e.registerMetrics(opts.Metrics)
 	return e, nil
+}
+
+// registerMetrics exposes the engine's counters through an obs registry as
+// func-backed instruments: scrapes read the live values the engine already
+// maintains, so instrumentation adds nothing to the training hot path.
+func (e *Engine) registerMetrics(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.FuncGauge("engine.iter", func() float64 { return float64(e.live.Load()) })
+	reg.FuncGauge("engine.health", func() float64 { return float64(e.Health()) })
+	reg.FuncGauge("engine.workers", func() float64 { return float64(e.opts.Workers) })
+	if e.writer != nil {
+		w := e.writer
+		reg.FuncCounter("ckpt.diff.writes", w.Writes.Value)
+		reg.FuncCounter("ckpt.diff.batches", w.Batches.Value)
+		reg.FuncCounter("ckpt.diff.bytes", w.Bytes.Value)
+		reg.FuncGauge("ckpt.diff.pending_bytes", func() float64 { return float64(w.PendingBytes.Value()) })
+	}
+	reg.FuncCounter("ckpt.full.writes", e.fullWrites.Value)
+	reg.FuncCounter("ckpt.full.snapshots", e.FullSnapshotTimer.Count)
+	reg.FuncGauge("ckpt.full.snapshot_seconds", func() float64 { return e.FullSnapshotTimer.Total().Seconds() })
+	fs := &e.faults
+	reg.FuncCounter("fault.diff_retries", fs.DiffRetries.Value)
+	reg.FuncCounter("fault.full_retries", fs.FullRetries.Value)
+	reg.FuncCounter("fault.diff_failures", fs.DiffFailures.Value)
+	reg.FuncCounter("fault.full_failures", fs.FullFailures.Value)
+	reg.FuncCounter("fault.full_fallbacks", fs.FullFallbacks.Value)
+	reg.FuncCounter("fault.dropped_diffs", fs.DroppedDiffs.Value)
+	reg.FuncCounter("fault.gc_failures", fs.GCFailures.Value)
+	reg.FuncCounter("fault.degradations", fs.Degradations.Value)
+	reg.FuncCounter("fault.recoveries", fs.Recoveries.Value)
+}
+
+// registerQueueMetrics re-registers the queue instruments for the current
+// Run's queue (a fresh ReusingQueue is built per Run, so func-backed
+// registrations are replaced to read the live one).
+func (e *Engine) registerQueueMetrics(q *ReusingQueue) {
+	reg := e.opts.Metrics
+	if reg == nil || q == nil {
+		return
+	}
+	reg.FuncGauge("queue.depth", func() float64 { return float64(q.Depth.Value()) })
+	reg.FuncGauge("queue.depth_high", func() float64 { return float64(q.Depth.High()) })
+	reg.FuncGauge("queue.cap", func() float64 { return float64(q.Cap()) })
+	reg.FuncCounter("queue.puts", q.Puts.Value)
+	reg.FuncCounter("queue.gets", q.Gets.Value)
+	reg.FuncCounter("queue.blocked_puts", q.BlockedPuts.Value)
 }
 
 // Iter returns the number of completed iterations.
@@ -274,7 +342,10 @@ func (e *Engine) Run(iters int) (RunStats, error) {
 	fullCh := make(chan *checkpoint.Full, 4)
 	errCh := make(chan error, e.opts.Workers+2)
 	var ckptWG sync.WaitGroup
-	var fullWrites metrics.Counter
+	fullWritesStart := e.fullWrites.Value()
+	e.events.Emit("run.start", map[string]any{
+		"start_iter": e.iter, "iters": iters, "workers": e.opts.Workers,
+	})
 
 	if checkpointing {
 		if e.writer != nil {
@@ -283,12 +354,13 @@ func (e *Engine) Run(iters int) (RunStats, error) {
 				return stats, err
 			}
 			queue = q
+			e.registerQueueMetrics(q)
 			ckptWG.Add(1)
 			go func() { // checkpointing process: diff consumer (§4.1 Alg. 1)
 				defer ckptWG.Done()
 				broken := false
 				suspended := false
-				onDiffFailure := func() {
+				onDiffFailure := func(iter int64) {
 					// Persistent differential-write failure: the open batch
 					// is lost, so the chain after the last full checkpoint
 					// is broken. Drop the batch, request a full checkpoint
@@ -299,6 +371,7 @@ func (e *Engine) Run(iters int) (RunStats, error) {
 					suspended = true
 					e.degradeTo(HealthDegradedDiff)
 					e.faults.FullFallbacks.Inc()
+					e.events.Emit("ckpt.diff.fallback", map[string]any{"iter": iter})
 					e.needFull.Store(true)
 				}
 				for {
@@ -315,6 +388,7 @@ func (e *Engine) Run(iters int) (RunStats, error) {
 						// everything else is dropped (and accounted).
 						if e.Health() == HealthDegraded || it.Iter != e.lastFullIter.Load()+1 {
 							e.faults.DroppedDiffs.Inc()
+							e.events.Emit("ckpt.diff.drop", map[string]any{"iter": it.Iter})
 							continue
 						}
 						suspended = false
@@ -328,7 +402,7 @@ func (e *Engine) Run(iters int) (RunStats, error) {
 							errCh <- err
 							broken = true
 						} else {
-							onDiffFailure()
+							onDiffFailure(it.Iter)
 						}
 						continue
 					}
@@ -340,7 +414,7 @@ func (e *Engine) Run(iters int) (RunStats, error) {
 								errCh <- err
 								broken = true
 							} else {
-								onDiffFailure()
+								onDiffFailure(it.Iter)
 							}
 						}
 					}
@@ -365,12 +439,18 @@ func (e *Engine) Run(iters int) (RunStats, error) {
 					err = e.ft.Retry.Do(func() error {
 						_, err := checkpoint.SaveFull(e.opts.Store, f)
 						return err
-					}, func(int, error) { e.faults.FullRetries.Inc() })
+					}, func(attempt int, err error) {
+						e.faults.FullRetries.Inc()
+						e.events.Emit("ckpt.full.retry", map[string]any{
+							"iter": f.Iter, "attempt": attempt, "error": err.Error(),
+						})
+					})
 				} else {
 					_, err = checkpoint.SaveFull(e.opts.Store, f)
 				}
 				persistDone()
 				if err != nil {
+					e.events.Emit("ckpt.full.fail", map[string]any{"iter": f.Iter, "error": err.Error()})
 					if e.ft == nil {
 						errCh <- err
 						broken = true
@@ -383,7 +463,8 @@ func (e *Engine) Run(iters int) (RunStats, error) {
 					e.degradeTo(HealthDegraded)
 					continue
 				}
-				fullWrites.Inc()
+				e.fullWrites.Inc()
+				e.events.Emit("ckpt.full.persist", map[string]any{"iter": f.Iter})
 				e.lastFullIter.Store(f.Iter)
 				if e.ft != nil {
 					e.restoreHealth() // a fresh base heals diff degradation
@@ -431,6 +512,10 @@ func (e *Engine) Run(iters int) (RunStats, error) {
 			for t := start + 1; t <= start+int64(iters); t++ {
 				var iterDone func()
 				if w == 0 {
+					e.live.Store(t)
+					if t%int64(e.opts.FullEvery) == 0 {
+						e.events.Emit("train.milestone", map[string]any{"iter": t})
+					}
 					iterDone = e.opts.Trace.Begin("train", "iteration",
 						map[string]interface{}{"iter": t})
 				}
@@ -532,9 +617,12 @@ func (e *Engine) Run(iters int) (RunStats, error) {
 		stats.BlockedPuts = queue.BlockedPuts.Value()
 		stats.QueueHighMark = queue.Depth.High()
 	}
-	stats.FullWrites = fullWrites.Value()
+	stats.FullWrites = e.fullWrites.Value() - fullWritesStart
 	stats.SnapshotTime = e.FullSnapshotTimer.Total()
 	stats.FinalLoss = e.Loss()
+	e.events.Emit("run.end", map[string]any{
+		"iter": e.iter, "diff_writes": stats.DiffWrites, "full_writes": stats.FullWrites,
+	})
 	return stats, nil
 }
 

@@ -11,6 +11,7 @@ import (
 	"lowdiff/internal/grad"
 	"lowdiff/internal/metrics"
 	"lowdiff/internal/model"
+	"lowdiff/internal/obs"
 	"lowdiff/internal/optim"
 	"lowdiff/internal/storage"
 	"lowdiff/internal/tensor"
@@ -43,6 +44,13 @@ type PlusOptions struct {
 
 	Seed  uint64
 	Noise float64 // default 0.05
+
+	// Metrics, when non-nil, registers the engine's live instruments
+	// (plus.*) for export through the obs endpoints. Nil disables it.
+	Metrics *obs.Registry
+	// Events, when non-nil, receives run lifecycle events (run start/end,
+	// replica persists). Nil disables emission.
+	Events *obs.EventLog
 }
 
 func (o PlusOptions) withDefaults(layers int) PlusOptions {
@@ -102,6 +110,13 @@ type PlusEngine struct {
 	persistIter  int64 // iteration of the last persisted checkpoint
 	iter         int64
 	snapshotTime metrics.Timer
+
+	events *obs.EventLog
+	// Cumulative across Run calls; RunStats report per-Run deltas.
+	layerSnapshots metrics.Counter
+	snapshotBytes  metrics.Counter
+	replicaSteps   metrics.Counter
+	persists       metrics.Counter
 }
 
 // NewPlusEngine validates options and builds the engine. The CPU replica is
@@ -158,7 +173,24 @@ func NewPlusEngine(opts PlusOptions) (*PlusEngine, error) {
 		return nil, err
 	}
 	e.replicaOpt = ro
+	e.events = opts.Events
+	e.registerMetrics(opts.Metrics)
 	return e, nil
+}
+
+// registerMetrics exposes the LowDiff+ engine's counters as func-backed
+// instruments; scrapes read the live values, leaving hot paths untouched.
+func (e *PlusEngine) registerMetrics(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.FuncGauge("plus.replica_iter", func() float64 { return float64(e.ReplicaIter()) })
+	reg.FuncGauge("plus.persist_iter", func() float64 { return float64(e.PersistedIter()) })
+	reg.FuncCounter("plus.layer_snapshots", e.layerSnapshots.Value)
+	reg.FuncCounter("plus.snapshot_bytes", e.snapshotBytes.Value)
+	reg.FuncCounter("plus.replica_steps", e.replicaSteps.Value)
+	reg.FuncCounter("plus.persists", e.persists.Value)
+	reg.FuncGauge("plus.snapshot_seconds", func() float64 { return e.snapshotTime.Total().Seconds() })
 }
 
 // Iter returns the number of completed iterations.
@@ -239,7 +271,13 @@ func (e *PlusEngine) Run(iters int) (PlusStats, error) {
 	persistCh := make(chan *checkpoint.Full, 2)
 	errCh := make(chan error, e.opts.Workers+2)
 	var assembleWG, persistWG sync.WaitGroup
-	var layerSnapshots, snapshotBytes, replicaSteps, persists metrics.Counter
+	layerSnapshotsStart := e.layerSnapshots.Value()
+	snapshotBytesStart := e.snapshotBytes.Value()
+	replicaStepsStart := e.replicaSteps.Value()
+	persistsStart := e.persists.Value()
+	e.events.Emit("run.start", map[string]any{
+		"engine": "plus", "start_iter": e.iter, "iters": iters, "workers": e.opts.Workers,
+	})
 
 	spec := e.opts.Spec
 	nLayers := len(spec.Layers)
@@ -277,8 +315,8 @@ func (e *PlusEngine) Run(iters int) (PlusStats, error) {
 				errCh <- err
 				return
 			}
-			layerSnapshots.Inc()
-			snapshotBytes.Add(it.Grad.Bytes())
+			e.layerSnapshots.Inc()
+			e.snapshotBytes.Add(it.Grad.Bytes())
 			seen++
 			if seen < nLayers {
 				continue
@@ -292,7 +330,7 @@ func (e *PlusEngine) Run(iters int) (PlusStats, error) {
 				return
 			}
 			e.replicaIter = curIter
-			replicaSteps.Inc()
+			e.replicaSteps.Inc()
 			var toPersist *checkpoint.Full
 			if e.opts.Store != nil && curIter%int64(e.opts.PersistEvery) == 0 {
 				toPersist = &checkpoint.Full{
@@ -317,7 +355,8 @@ func (e *PlusEngine) Run(iters int) (PlusStats, error) {
 				errCh <- err
 				return
 			}
-			persists.Inc()
+			e.persists.Inc()
+			e.events.Emit("ckpt.full.persist", map[string]any{"engine": "plus", "iter": f.Iter})
 			e.mu.Lock()
 			if f.Iter > e.persistIter {
 				e.persistIter = f.Iter
@@ -432,12 +471,16 @@ func (e *PlusEngine) Run(iters int) (PlusStats, error) {
 	default:
 	}
 	e.iter = start + int64(iters)
-	stats.LayerSnapshots = layerSnapshots.Value()
-	stats.SnapshotBytes = snapshotBytes.Value()
-	stats.ReplicaSteps = replicaSteps.Value()
-	stats.Persists = persists.Value()
+	stats.LayerSnapshots = e.layerSnapshots.Value() - layerSnapshotsStart
+	stats.SnapshotBytes = e.snapshotBytes.Value() - snapshotBytesStart
+	stats.ReplicaSteps = e.replicaSteps.Value() - replicaStepsStart
+	stats.Persists = e.persists.Value() - persistsStart
 	stats.SnapshotTime = e.snapshotTime.Total()
 	stats.FinalLoss = e.Loss()
+	e.events.Emit("run.end", map[string]any{
+		"engine": "plus", "iter": e.iter,
+		"replica_steps": stats.ReplicaSteps, "persists": stats.Persists,
+	})
 	return stats, nil
 }
 

@@ -9,7 +9,9 @@ import (
 	"lowdiff/internal/comm"
 	"lowdiff/internal/compress"
 	"lowdiff/internal/grad"
+	"lowdiff/internal/metrics"
 	"lowdiff/internal/model"
+	"lowdiff/internal/obs"
 	"lowdiff/internal/optim"
 	"lowdiff/internal/storage"
 	"lowdiff/internal/tensor"
@@ -41,6 +43,13 @@ type PPOptions struct {
 
 	Seed  uint64
 	Noise float64 // default 0.05
+
+	// Metrics, when non-nil, registers the engine's live instruments
+	// (pp.* plus the shared ckpt.diff.* writer counters). Nil disables it.
+	Metrics *obs.Registry
+	// Events, when non-nil, receives run lifecycle events. Nil disables
+	// emission.
+	Events *obs.EventLog
 }
 
 func (o PPOptions) withDefaults() PPOptions {
@@ -130,6 +139,9 @@ type PPEngine struct {
 
 	writer *BatchedWriter
 	iter   int64
+
+	events     *obs.EventLog
+	fullWrites metrics.Counter // full checkpoints persisted, across Run calls
 }
 
 // PPStats summarizes one PPEngine.Run call.
@@ -191,9 +203,30 @@ func NewPPEngine(opts PPOptions) (*PPEngine, error) {
 		if err != nil {
 			return nil, err
 		}
+		w.Events = opts.Events
 		e.writer = w
 	}
+	e.events = opts.Events
+	e.registerMetrics(opts.Metrics)
 	return e, nil
+}
+
+// registerMetrics exposes the pipeline-parallel engine's counters as
+// func-backed instruments.
+func (e *PPEngine) registerMetrics(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.FuncGauge("pp.iter", func() float64 { return float64(e.iter) })
+	reg.FuncGauge("pp.stages", func() float64 { return float64(e.opts.Stages) })
+	reg.FuncCounter("pp.full_writes", e.fullWrites.Value)
+	if e.writer != nil {
+		w := e.writer
+		reg.FuncCounter("ckpt.diff.writes", w.Writes.Value)
+		reg.FuncCounter("ckpt.diff.batches", w.Batches.Value)
+		reg.FuncCounter("ckpt.diff.bytes", w.Bytes.Value)
+		reg.FuncGauge("ckpt.diff.pending_bytes", func() float64 { return float64(w.PendingBytes.Value()) })
+	}
 }
 
 // Iter returns the number of completed iterations.
@@ -272,7 +305,11 @@ func (e *PPEngine) Run(iters int) (PPStats, error) {
 	partCh := make(chan part, e.opts.Stages*2)
 	errCh := make(chan error, e.opts.Stages+2)
 	var coordWG sync.WaitGroup
-	var diffWrites, fullWrites int64
+	var diffWrites int64
+	fullWritesStart := e.fullWrites.Value()
+	e.events.Emit("run.start", map[string]any{
+		"engine": "pp", "start_iter": e.iter, "iters": iters, "stages": e.opts.Stages,
+	})
 
 	if checkpointing {
 		coordWG.Add(1)
@@ -321,7 +358,8 @@ func (e *PPEngine) Run(iters int) (PPStats, error) {
 		if _, err := checkpoint.SaveFull(e.opts.Store, full); err != nil {
 			return stats, err
 		}
-		fullWrites++
+		e.fullWrites.Inc()
+		e.events.Emit("ckpt.full.persist", map[string]any{"engine": "pp", "iter": int64(0)})
 	}
 
 	var trainWG sync.WaitGroup
@@ -377,7 +415,8 @@ func (e *PPEngine) Run(iters int) (PPStats, error) {
 						errCh <- err
 						return
 					}
-					fullWrites++
+					e.fullWrites.Inc()
+					e.events.Emit("ckpt.full.persist", map[string]any{"engine": "pp", "iter": t})
 				}
 				// Second barrier: no stage starts the next iteration while
 				// the full snapshot is being taken.
@@ -402,8 +441,12 @@ func (e *PPEngine) Run(iters int) (PPStats, error) {
 		diffWrites = e.writer.Writes.Value()
 	}
 	stats.DiffWrites = diffWrites
-	stats.FullWrites = fullWrites
+	stats.FullWrites = e.fullWrites.Value() - fullWritesStart
 	stats.FinalLoss = e.Loss()
+	e.events.Emit("run.end", map[string]any{
+		"engine": "pp", "iter": e.iter,
+		"diff_writes": stats.DiffWrites, "full_writes": stats.FullWrites,
+	})
 	return stats, nil
 }
 

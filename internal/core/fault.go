@@ -160,6 +160,9 @@ func (e *Engine) degradeTo(h Health) bool {
 		}
 		if e.health.CompareAndSwap(cur, int32(h)) {
 			e.faults.Degradations.Inc()
+			e.events.Emit("health.degrade", map[string]any{
+				"from": Health(cur).String(), "to": h.String(),
+			})
 			return true
 		}
 	}
@@ -171,5 +174,6 @@ func (e *Engine) degradeTo(h Health) bool {
 func (e *Engine) restoreHealth() {
 	if e.health.CompareAndSwap(int32(HealthDegradedDiff), int32(HealthOK)) {
 		e.faults.Recoveries.Inc()
+		e.events.Emit("health.recover", map[string]any{"to": HealthOK.String()})
 	}
 }

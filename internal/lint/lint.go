@@ -96,6 +96,7 @@ func DefaultConfig() *Config {
 			"lowdiff/internal/timemodel",
 			"lowdiff/internal/cluster",
 			"lowdiff/internal/checkpoint",
+			"lowdiff/internal/obs",
 		},
 		FloatEqAllowFuncs: []string{
 			"lowdiff/internal/tensor.Vector.Equal",

@@ -66,10 +66,16 @@ func (g *Gauge) High() int64 {
 	return g.high
 }
 
-// Timer accumulates wall-clock durations.
+// Timer accumulates durations. By default Time reads the wall clock; set
+// Now to inject a different clock (a scripted test clock, or a virtual
+// clock such as sim.Sim.Clock) so timings stay deterministic.
 type Timer struct {
 	nanos atomic.Int64
 	count atomic.Int64
+
+	// Now is the clock seam used by Time (nil uses time.Now). Set it
+	// before the timer is shared between goroutines.
+	Now func() time.Time
 }
 
 // Observe adds one duration sample.
@@ -78,11 +84,15 @@ func (t *Timer) Observe(d time.Duration) {
 	t.count.Add(1)
 }
 
-// Time runs fn and records its duration.
+// Time runs fn and records its duration on the timer's clock.
 func (t *Timer) Time(fn func()) {
-	start := time.Now()
+	now := t.Now
+	if now == nil {
+		now = time.Now
+	}
+	start := now()
 	fn()
-	t.Observe(time.Since(start))
+	t.Observe(now().Sub(start))
 }
 
 // Total returns the accumulated duration.
@@ -100,59 +110,115 @@ func (t *Timer) Mean() time.Duration {
 	return time.Duration(t.nanos.Load() / n)
 }
 
-// Summary computes order statistics over a float64 sample set.
+// DefaultSummaryCap bounds how many samples a Summary retains when its
+// Cap field is zero.
+const DefaultSummaryCap = 4096
+
+// Summary computes order statistics over a float64 sample stream with
+// bounded memory. Up to Cap samples (default DefaultSummaryCap) are
+// retained exactly, so small sample sets keep the historical exact
+// nearest-rank behavior; past the cap, a uniform reservoir (Vitter's
+// Algorithm R, driven by a seeded SplitMix64 generator) keeps quantiles
+// approximate while count, mean, min, and max stay exact. For a fixed
+// observation sequence the reservoir — and therefore every statistic —
+// is deterministic.
 type Summary struct {
 	mu     sync.Mutex
 	vals   []float64
 	sorted bool
+
+	// Cap is the maximum number of retained samples (0 uses
+	// DefaultSummaryCap). Set it before the first Observe.
+	Cap int
+	// Seed perturbs the reservoir's deterministic generator. The zero
+	// value is a valid seed; equal seeds and observation sequences give
+	// identical reservoirs.
+	Seed uint64
+
+	n        int64 // total samples observed
+	sum      float64
+	min, max float64
+	rng      uint64
+	rngInit  bool
 }
 
 // Observe adds a sample.
 func (s *Summary) Observe(v float64) {
 	s.mu.Lock()
-	s.vals = append(s.vals, v)
-	s.sorted = false
+	limit := s.Cap
+	if limit <= 0 {
+		limit = DefaultSummaryCap
+	}
+	if s.n == 0 || v < s.min {
+		s.min = v
+	}
+	if s.n == 0 || v > s.max {
+		s.max = v
+	}
+	s.n++
+	s.sum += v
+	if len(s.vals) < limit {
+		s.vals = append(s.vals, v)
+		s.sorted = false
+	} else if j := s.nextRand() % uint64(s.n); j < uint64(limit) {
+		// Algorithm R: sample n survives with probability limit/n, giving
+		// every observation an equal chance of being retained.
+		s.vals[j] = v
+		s.sorted = false
+	}
 	s.mu.Unlock()
 }
 
-// Count returns the number of samples.
+// nextRand draws 64 deterministic pseudo-random bits (SplitMix64;
+// callers hold s.mu).
+func (s *Summary) nextRand() uint64 {
+	if !s.rngInit {
+		s.rng = s.Seed
+		s.rngInit = true
+	}
+	s.rng += 0x9e3779b97f4a7c15
+	z := s.rng
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Count returns the number of samples observed (not just retained).
 func (s *Summary) Count() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return len(s.vals)
+	return int(s.n)
 }
 
-// Mean returns the sample mean (0 with no samples).
+// Mean returns the exact sample mean (0 with no samples).
 func (s *Summary) Mean() float64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if len(s.vals) == 0 {
+	if s.n == 0 {
 		return 0
 	}
-	var sum float64
-	for _, v := range s.vals {
-		sum += v
-	}
-	return sum / float64(len(s.vals))
+	return s.sum / float64(s.n)
 }
 
 // Quantile returns the q-quantile (0 <= q <= 1) by nearest-rank over the
-// sorted samples; it returns 0 with no samples.
+// retained samples; it returns 0 with no samples. Below the retention cap
+// the result is exact; above it, a reservoir estimate — except q <= 0 and
+// q >= 1, which always return the exact min and max.
 func (s *Summary) Quantile(q float64) float64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if len(s.vals) == 0 {
+	if s.n == 0 {
 		return 0
+	}
+	if q <= 0 {
+		return s.min
+	}
+	if q >= 1 {
+		return s.max
 	}
 	if !s.sorted {
 		sort.Float64s(s.vals)
 		s.sorted = true
-	}
-	if q <= 0 {
-		return s.vals[0]
-	}
-	if q >= 1 {
-		return s.vals[len(s.vals)-1]
 	}
 	idx := int(math.Ceil(q*float64(len(s.vals)))) - 1
 	if idx < 0 {
@@ -161,10 +227,10 @@ func (s *Summary) Quantile(q float64) float64 {
 	return s.vals[idx]
 }
 
-// Max returns the largest sample (0 with no samples).
+// Max returns the largest sample, exactly (0 with no samples).
 func (s *Summary) Max() float64 { return s.Quantile(1) }
 
-// Min returns the smallest sample (0 with no samples).
+// Min returns the smallest sample, exactly (0 with no samples).
 func (s *Summary) Min() float64 { return s.Quantile(0) }
 
 // String formats count/mean/p50/p99/max for logs.

@@ -101,3 +101,108 @@ func TestSummary(t *testing.T) {
 		t.Fatal("String should format")
 	}
 }
+
+func TestTimerInjectedClock(t *testing.T) {
+	// A scripted clock makes Time deterministic: each read advances 50ms.
+	now := time.Unix(0, 0)
+	var tm Timer
+	tm.Now = func() time.Time {
+		now = now.Add(50 * time.Millisecond)
+		return now
+	}
+	tm.Time(func() {})
+	tm.Time(func() {})
+	if tm.Count() != 2 {
+		t.Fatalf("Count = %d", tm.Count())
+	}
+	if tm.Total() != 100*time.Millisecond {
+		t.Fatalf("Total = %v, want exactly 100ms from the scripted clock", tm.Total())
+	}
+}
+
+func TestSummaryExactBelowCap(t *testing.T) {
+	s := Summary{Cap: 100}
+	for i := 100; i >= 1; i-- {
+		s.Observe(float64(i))
+	}
+	if s.Count() != 100 {
+		t.Fatalf("Count = %d", s.Count())
+	}
+	// At the cap boundary every sample is retained: quantiles are exact.
+	if got := s.Quantile(0.5); got != 50 {
+		t.Fatalf("p50 = %v, want 50", got)
+	}
+	if got := s.Quantile(0.99); got != 99 {
+		t.Fatalf("p99 = %v, want 99", got)
+	}
+	if s.Min() != 1 || s.Max() != 100 {
+		t.Fatalf("min/max = %v/%v", s.Min(), s.Max())
+	}
+}
+
+func TestSummaryReservoirAboveCap(t *testing.T) {
+	// 100k samples on a uniform ramp through a 1024-slot reservoir: count,
+	// mean, min, and max stay exact; quantiles are estimates within a few
+	// percent of truth.
+	const n = 100000
+	s := Summary{Cap: 1024, Seed: 7}
+	for i := 1; i <= n; i++ {
+		s.Observe(float64(i))
+	}
+	if s.Count() != n {
+		t.Fatalf("Count = %d, want %d (exact despite the cap)", s.Count(), n)
+	}
+	if s.Min() != 1 || s.Max() != n {
+		t.Fatalf("min/max = %v/%v, want exact 1/%d", s.Min(), s.Max(), n)
+	}
+	wantMean := float64(n+1) / 2
+	if got := s.Mean(); got != wantMean {
+		t.Fatalf("Mean = %v, want exact %v", got, wantMean)
+	}
+	for _, q := range []float64{0.1, 0.5, 0.9} {
+		got := s.Quantile(q)
+		want := q * n
+		if diff := got - want; diff < -0.05*n || diff > 0.05*n {
+			t.Fatalf("p%v = %v, want %v +/- 5%%", q*100, got, want)
+		}
+	}
+}
+
+func TestSummaryReservoirDeterministic(t *testing.T) {
+	run := func(seed uint64) []float64 {
+		s := Summary{Cap: 64, Seed: seed}
+		for i := 0; i < 10000; i++ {
+			s.Observe(float64(i % 997))
+		}
+		return []float64{s.Quantile(0.25), s.Quantile(0.5), s.Quantile(0.75), s.Quantile(0.99)}
+	}
+	a, b := run(3), run(3)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at %d: %v vs %v", i, a, b)
+		}
+	}
+	c := run(4)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical reservoir quantiles (suspicious)")
+	}
+}
+
+func TestSummaryDefaultCap(t *testing.T) {
+	var s Summary
+	for i := 0; i < DefaultSummaryCap+500; i++ {
+		s.Observe(float64(i))
+	}
+	if len(s.vals) != DefaultSummaryCap {
+		t.Fatalf("retained %d samples, want cap %d", len(s.vals), DefaultSummaryCap)
+	}
+	if s.Count() != DefaultSummaryCap+500 {
+		t.Fatalf("Count = %d", s.Count())
+	}
+}

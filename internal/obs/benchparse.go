@@ -1,0 +1,87 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// BenchResult is one benchmark's figures as parsed from `go test -bench`
+// output (only the metrics the run emitted are non-zero).
+type BenchResult struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+	Iterations  int64   `json:"iterations"`
+}
+
+// ParseBench reads `go test -bench` output and returns benchmark name →
+// result. The trailing -N GOMAXPROCS suffix is stripped so baselines
+// compare across machines; non-benchmark lines are ignored. A benchmark
+// appearing twice keeps the last result.
+func ParseBench(r io.Reader) (map[string]BenchResult, error) {
+	out := map[string]BenchResult{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue // "Benchmark..." prose, not a result line
+		}
+		res := BenchResult{Iterations: iters}
+		// Remaining fields come in "<value> <unit>" pairs.
+		ok := false
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("obs: bench line %q: bad value %q", sc.Text(), fields[i])
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				res.NsPerOp = v
+				ok = true
+			case "B/op":
+				res.BytesPerOp = v
+			case "allocs/op":
+				res.AllocsPerOp = v
+			}
+		}
+		if ok {
+			out[stripProcSuffix(fields[0])] = res
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("obs: reading bench output: %w", err)
+	}
+	return out, nil
+}
+
+// stripProcSuffix drops the trailing -N GOMAXPROCS marker from a
+// benchmark name ("BenchmarkMerge-8" → "BenchmarkMerge").
+func stripProcSuffix(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i <= 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
+
+// WriteBenchJSON encodes the results as indented JSON with sorted keys
+// (encoding/json sorts map keys), the BENCH_*.json baseline format.
+func WriteBenchJSON(w io.Writer, results map[string]BenchResult) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(struct {
+		Benchmarks map[string]BenchResult `json:"benchmarks"`
+	}{Benchmarks: results})
+}

@@ -1,0 +1,131 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const sampleBenchOutput = `goos: linux
+goarch: amd64
+pkg: lowdiff/internal/obs
+cpu: Fake CPU @ 3.00GHz
+BenchmarkCounterInc-8          	87654321	        13.7 ns/op	       0 B/op	       0 allocs/op
+BenchmarkSnapshot-8            	  120000	      9834 ns/op	    4096 B/op	      12 allocs/op
+BenchmarkWritePrometheus       	   50000	     24510 ns/op
+BenchmarkEventLogEmit-8        	 2000000	       612.4 ns/op	     184 B/op	       3 allocs/op
+PASS
+ok  	lowdiff/internal/obs	6.412s
+`
+
+func TestParseBench(t *testing.T) {
+	got, err := ParseBench(strings.NewReader(sampleBenchOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 4 {
+		t.Fatalf("parsed %d benchmarks, want 4: %v", len(got), got)
+	}
+	inc, ok := got["BenchmarkCounterInc"]
+	if !ok {
+		t.Fatalf("missing BenchmarkCounterInc (suffix not stripped?): %v", got)
+	}
+	if inc.NsPerOp != 13.7 || inc.Iterations != 87654321 || inc.BytesPerOp != 0 || inc.AllocsPerOp != 0 {
+		t.Fatalf("BenchmarkCounterInc = %+v", inc)
+	}
+	snap := got["BenchmarkSnapshot"]
+	if snap.NsPerOp != 9834 || snap.BytesPerOp != 4096 || snap.AllocsPerOp != 12 {
+		t.Fatalf("BenchmarkSnapshot = %+v", snap)
+	}
+	// A name with no -N suffix parses under its literal name.
+	if got["BenchmarkWritePrometheus"].NsPerOp != 24510 {
+		t.Fatalf("BenchmarkWritePrometheus = %+v", got["BenchmarkWritePrometheus"])
+	}
+	if got["BenchmarkEventLogEmit"].NsPerOp != 612.4 {
+		t.Fatalf("BenchmarkEventLogEmit = %+v", got["BenchmarkEventLogEmit"])
+	}
+}
+
+func TestParseBenchSkipsProse(t *testing.T) {
+	// Lines that merely start with "Benchmark" but aren't result rows
+	// (e.g. a test log mentioning "Benchmarking the fast path ...") must
+	// not error or produce entries.
+	got, err := ParseBench(strings.NewReader(
+		"Benchmarking the fast path took a while today\n" +
+			"BenchmarkReal-4 100 5 ns/op\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got["BenchmarkReal"].NsPerOp != 5 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestParseBenchBadValue(t *testing.T) {
+	_, err := ParseBench(strings.NewReader("BenchmarkBroken-8 100 oops ns/op\n"))
+	if err == nil || !strings.Contains(err.Error(), "bad value") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestParseBenchLastWins(t *testing.T) {
+	got, err := ParseBench(strings.NewReader(
+		"BenchmarkX-8 100 10 ns/op\nBenchmarkX-8 200 20 ns/op\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got["BenchmarkX"].NsPerOp != 20 || got["BenchmarkX"].Iterations != 200 {
+		t.Fatalf("got %+v", got["BenchmarkX"])
+	}
+}
+
+func TestStripProcSuffix(t *testing.T) {
+	cases := map[string]string{
+		"BenchmarkMerge-8":   "BenchmarkMerge",
+		"BenchmarkMerge-128": "BenchmarkMerge",
+		"BenchmarkMerge":     "BenchmarkMerge",
+		"BenchmarkTop-K":     "BenchmarkTop-K", // non-numeric suffix stays
+		"BenchmarkA/sub=2-4": "BenchmarkA/sub=2",
+		"BenchmarkA/n-gram":  "BenchmarkA/n-gram",
+		"-8":                 "-8", // degenerate: no name before dash
+	}
+	for in, want := range cases {
+		if got := stripProcSuffix(in); got != want {
+			t.Errorf("stripProcSuffix(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestWriteBenchJSONDeterministic(t *testing.T) {
+	results, err := ParseBench(strings.NewReader(sampleBenchOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a, b bytes.Buffer
+	if err := WriteBenchJSON(&a, results); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteBenchJSON(&b, results); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatalf("bench JSON not deterministic:\n%s\nvs\n%s", a.String(), b.String())
+	}
+	// Keys come out sorted, so the first benchmark name in the document
+	// is the lexicographically smallest.
+	text := a.String()
+	first := strings.Index(text, "BenchmarkCounterInc")
+	last := strings.Index(text, "BenchmarkWritePrometheus")
+	if first < 0 || last < 0 || first > last {
+		t.Fatalf("keys not sorted:\n%s", text)
+	}
+	if !strings.Contains(text, `"ns_per_op": 13.7`) {
+		t.Fatalf("missing ns_per_op:\n%s", text)
+	}
+	// B/op and allocs/op are omitted when zero.
+	block := text[strings.Index(text, "BenchmarkWritePrometheus"):]
+	block = block[:strings.Index(block, "}")]
+	if strings.Contains(block, "bytes_per_op") || strings.Contains(block, "allocs_per_op") {
+		t.Fatalf("zero-valued optional fields not omitted:\n%s", block)
+	}
+}

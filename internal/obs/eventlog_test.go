@@ -1,0 +1,161 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilEventLogSafe(t *testing.T) {
+	var l *EventLog
+	l.Emit("run.start", map[string]any{"iter": 1})
+	if l.Seq() != 0 || l.Err() != nil {
+		t.Fatal("nil event log must be inert")
+	}
+	if l.WithClock(time.Now) != nil {
+		t.Fatal("nil WithClock should stay nil")
+	}
+}
+
+func TestEmitSequenceAndShape(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewEventLog(&buf)
+	l.Emit("run.start", map[string]any{"iters": 100, "workers": 2})
+	l.Emit("ckpt.diff.persist", map[string]any{"first": 1, "last": 5, "bytes": 4096})
+	l.Emit("run.end", nil)
+	if l.Seq() != 3 {
+		t.Fatalf("Seq = %d", l.Seq())
+	}
+	if err := l.Err(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines", len(lines))
+	}
+	for i, line := range lines {
+		var ev struct {
+			Seq    int64          `json:"seq"`
+			Type   string         `json:"type"`
+			Fields map[string]any `json:"fields"`
+			TSNs   *int64         `json:"ts_ns"`
+		}
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("line %d invalid JSON: %v: %s", i, err, line)
+		}
+		if ev.Seq != int64(i+1) {
+			t.Fatalf("line %d seq = %d", i, ev.Seq)
+		}
+		if ev.TSNs != nil {
+			t.Fatalf("line %d has a timestamp without WithClock: %s", i, line)
+		}
+	}
+	if !strings.Contains(lines[1], `"type":"ckpt.diff.persist"`) {
+		t.Fatalf("line 1 = %s", lines[1])
+	}
+}
+
+func TestEventLogByteDeterministic(t *testing.T) {
+	record := func() []byte {
+		var buf bytes.Buffer
+		l := NewEventLog(&buf)
+		for i := 1; i <= 20; i++ {
+			l.Emit("train.milestone", map[string]any{
+				"iter": i, "loss": float64(i) * 0.5, "phase": "warmup",
+			})
+		}
+		return buf.Bytes()
+	}
+	a, b := record(), record()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("fixed event sequences produced different logs:\n%s\nvs\n%s", a, b)
+	}
+}
+
+func TestWithClockStampsVirtualTime(t *testing.T) {
+	var buf bytes.Buffer
+	now := time.Unix(0, 0).UTC()
+	l := NewEventLog(&buf).WithClock(func() time.Time {
+		now = now.Add(time.Millisecond)
+		return now
+	})
+	l.Emit("a.b", nil)
+	l.Emit("a.b", nil)
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	for i, want := range []int64{1e6, 2e6} {
+		var ev struct {
+			TSNs *int64 `json:"ts_ns"`
+		}
+		if err := json.Unmarshal([]byte(lines[i]), &ev); err != nil {
+			t.Fatal(err)
+		}
+		if ev.TSNs == nil || *ev.TSNs != want {
+			t.Fatalf("line %d ts_ns = %v, want %d", i, ev.TSNs, want)
+		}
+	}
+}
+
+type failWriter struct{ n int }
+
+func (w *failWriter) Write(p []byte) (int, error) {
+	w.n++
+	if w.n > 1 {
+		return 0, fmt.Errorf("disk full")
+	}
+	return len(p), nil
+}
+
+func TestEventLogLatchesFirstError(t *testing.T) {
+	l := NewEventLog(&failWriter{})
+	l.Emit("ok", nil)
+	if l.Err() != nil {
+		t.Fatal("first write should succeed")
+	}
+	l.Emit("fails", nil)
+	l.Emit("also.fails", nil)
+	if err := l.Err(); err == nil || !strings.Contains(err.Error(), "disk full") {
+		t.Fatalf("Err = %v", err)
+	}
+	if l.Seq() != 3 {
+		t.Fatalf("Seq = %d; sequence numbering continues past errors", l.Seq())
+	}
+}
+
+func TestEventLogConcurrentEmit(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewEventLog(&buf)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				l.Emit("worker.tick", map[string]any{"worker": g, "i": i})
+			}
+		}(g)
+	}
+	wg.Wait()
+	if l.Seq() != 800 {
+		t.Fatalf("Seq = %d", l.Seq())
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 800 {
+		t.Fatalf("got %d lines", len(lines))
+	}
+	// Lines are whole (no interleaving) and seq-ordered.
+	for i, line := range lines {
+		var ev struct {
+			Seq int64 `json:"seq"`
+		}
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("line %d torn: %v: %s", i, err, line)
+		}
+		if ev.Seq != int64(i+1) {
+			t.Fatalf("line %d seq = %d, want %d", i, ev.Seq, i+1)
+		}
+	}
+}

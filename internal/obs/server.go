@@ -1,0 +1,95 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// HealthStatus is the /healthz payload. Status carries the position on
+// the application's health ladder (e.g. core's ok → degraded-diff →
+// degraded); OK selects the HTTP status code (200 vs 503), so probes and
+// load balancers can react without parsing the body.
+type HealthStatus struct {
+	Status string `json:"status"`
+	OK     bool   `json:"ok"`
+}
+
+// ServerOptions configures the ops endpoint surface.
+type ServerOptions struct {
+	// Registry backs /metrics (Prometheus text) and /snapshot (JSON).
+	// Nil serves empty but valid documents.
+	Registry *Registry
+	// Health backs /healthz; nil reports always-ok.
+	Health func() HealthStatus
+}
+
+// NewMux returns the ops handler: /metrics, /healthz, /snapshot, and the
+// net/http/pprof suite under /debug/pprof/.
+func NewMux(opts ServerOptions) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := opts.Registry.Snapshot().WritePrometheus(w); err != nil {
+			return // client went away mid-write; nothing to salvage
+		}
+	})
+	mux.HandleFunc("/snapshot", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := opts.Registry.Snapshot().WriteJSON(w); err != nil {
+			return
+		}
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		h := HealthStatus{Status: "ok", OK: true}
+		if opts.Health != nil {
+			h = opts.Health()
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if !h.OK {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		if err := json.NewEncoder(w).Encode(h); err != nil {
+			return
+		}
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Server is a running ops endpoint.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve binds addr (":9090", "127.0.0.1:0", ...) and serves the ops
+// endpoints in a background goroutine until Close.
+func Serve(addr string, opts ServerOptions) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: ops listener on %s: %w", addr, err)
+	}
+	srv := &http.Server{
+		Handler:           NewMux(opts),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	s := &Server{ln: ln, srv: srv}
+	go func() {
+		_ = s.srv.Serve(ln) // always ErrServerClosed after Close
+	}()
+	return s, nil
+}
+
+// Addr returns the bound address (useful with port 0).
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close immediately shuts the server down.
+func (s *Server) Close() error { return s.srv.Close() }

@@ -13,6 +13,7 @@ import (
 	"io"
 
 	"lowdiff/internal/checkpoint"
+	"lowdiff/internal/obs"
 	"lowdiff/internal/storage"
 )
 
@@ -101,6 +102,9 @@ type ValidateOptions struct {
 	// scans and GC passes never trip over them again. Missing objects
 	// have nothing to move and are only reported.
 	Quarantine bool
+	// Events, when non-nil, receives recover.* events (anchor selection,
+	// quarantines, completion) during LatestValid. Nil disables emission.
+	Events *obs.EventLog
 }
 
 func (o ValidateOptions) withDefaults() ValidateOptions {
@@ -189,6 +193,9 @@ func LatestValid(store storage.Store, opts ValidateOptions) (*State, *Report, er
 		if opts.Quarantine && status == StatusCorrupt {
 			if qerr := quarantine(store, e.Name); qerr == nil {
 				report.Quarantined = append(report.Quarantined, e.Name)
+				opts.Events.Emit("recover.quarantine", map[string]any{
+					"object": e.Name, "status": status.String(),
+				})
 			}
 		}
 	}
@@ -196,6 +203,7 @@ func LatestValid(store storage.Store, opts ValidateOptions) (*State, *Report, er
 		return nil, report, fmt.Errorf("recovery: no valid full checkpoint in store")
 	}
 	report.BaseName, report.BaseIter = base.Name, full.Iter
+	opts.Events.Emit("recover.anchor", map[string]any{"object": base.Name, "iter": full.Iter})
 	// Validate the differential chain; truncate at the first damage.
 	chain := m.DiffsAfter(full.Iter)
 	var diffs []*checkpoint.Diff
@@ -206,6 +214,9 @@ func LatestValid(store storage.Store, opts ValidateOptions) (*State, *Report, er
 			if opts.Quarantine && status == StatusCorrupt {
 				if qerr := quarantine(store, e.Name); qerr == nil {
 					report.Quarantined = append(report.Quarantined, e.Name)
+					opts.Events.Emit("recover.quarantine", map[string]any{
+						"object": e.Name, "status": status.String(),
+					})
 				}
 			}
 			break
@@ -217,6 +228,10 @@ func LatestValid(store storage.Store, opts ValidateOptions) (*State, *Report, er
 		return nil, report, err
 	}
 	report.RecoverableIter = st.Iter
+	opts.Events.Emit("recover.complete", map[string]any{
+		"iter": st.Iter, "base_iter": full.Iter, "diffs": len(diffs),
+		"quarantined": len(report.Quarantined),
+	})
 	return st, report, nil
 }
 

@@ -9,6 +9,7 @@ import (
 	"container/heap"
 	"fmt"
 	"math"
+	"time"
 )
 
 // Sim is a discrete-event simulator. The zero value is not usable; call New.
@@ -75,6 +76,18 @@ func (s *Sim) RunUntil(t float64) error {
 
 // Pending returns the number of queued events.
 func (s *Sim) Pending() int { return s.events.Len() }
+
+// Clock returns a virtual-time clock: the Unix epoch advanced by the
+// simulator's current virtual time. Injecting it into trace.NewWithClock,
+// a metrics.Timer, or an obs registry/event log makes those instruments
+// record virtual rather than wall time, so simulator-driven timelines and
+// metrics replay byte-identically.
+func (s *Sim) Clock() func() time.Time {
+	epoch := time.Unix(0, 0).UTC()
+	return func() time.Time {
+		return epoch.Add(time.Duration(s.now * float64(time.Second)))
+	}
+}
 
 type event struct {
 	time float64

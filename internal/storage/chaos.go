@@ -7,6 +7,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"lowdiff/internal/obs"
 )
 
 // ChaosConfig selects which faults a Chaos store injects and how often.
@@ -39,6 +41,11 @@ type ChaosConfig struct {
 	Latency     time.Duration
 	// Sleep is the latency seam (nil uses time.Sleep).
 	Sleep func(time.Duration)
+
+	// Events, when non-nil, receives a chaos.* event for every injected
+	// fault (object name + fault kind), so injections line up with the
+	// engine's retry/fallback/degradation events in one stream.
+	Events *obs.EventLog
 }
 
 func (c ChaosConfig) validate() error {
@@ -169,6 +176,7 @@ func (w *chaosWriter) Close() error {
 		data = append([]byte(nil), data...)
 		data[bit/8] ^= 1 << (bit % 8)
 		w.c.writeBitFlips.Add(1)
+		w.c.cfg.Events.Emit("chaos.write_bitflip", map[string]any{"object": w.name})
 	}
 	return WriteObject(w.c.Store, w.name, data)
 }
@@ -185,10 +193,12 @@ func (c *Chaos) Create(name string) (io.WriteCloser, error) {
 	c.mu.Unlock()
 	if stall {
 		c.latencySpikes.Add(1)
+		c.cfg.Events.Emit("chaos.latency", map[string]any{"object": name, "op": "write"})
 		c.cfg.Sleep(c.cfg.Latency)
 	}
 	if permanent || transient {
 		c.writeFaults.Add(1)
+		c.cfg.Events.Emit("chaos.write_fault", map[string]any{"object": name, "permanent": permanent})
 		// The write never reaches the device: nothing becomes visible.
 		return &faultyWriter{doomed: true}, nil
 	}
@@ -206,6 +216,7 @@ func (c *Chaos) Open(name string) (io.ReadCloser, error) {
 	c.mu.Unlock()
 	if stall {
 		c.latencySpikes.Add(1)
+		c.cfg.Events.Emit("chaos.latency", map[string]any{"object": name, "op": "read"})
 		c.cfg.Sleep(c.cfg.Latency)
 	}
 	r, err := c.Store.Open(name)
@@ -223,6 +234,7 @@ func (c *Chaos) Open(name string) (io.ReadCloser, error) {
 		c.mu.Unlock()
 		data = data[:n]
 		c.tornReads.Add(1)
+		c.cfg.Events.Emit("chaos.torn_read", map[string]any{"object": name})
 	} else if flip && len(data) > 0 {
 		c.mu.Lock()
 		bit := c.next() % uint64(8*len(data))
@@ -230,6 +242,7 @@ func (c *Chaos) Open(name string) (io.ReadCloser, error) {
 		data = append([]byte(nil), data...)
 		data[bit/8] ^= 1 << (bit % 8)
 		c.readBitFlips.Add(1)
+		c.cfg.Events.Emit("chaos.read_bitflip", map[string]any{"object": name})
 	}
 	return io.NopCloser(bytes.NewReader(data)), nil
 }

@@ -29,12 +29,24 @@ type Event struct {
 type Recorder struct {
 	mu     sync.Mutex
 	epoch  time.Time
+	now    func() time.Time
 	events []Event
 }
 
-// New returns an empty recorder whose clock starts now.
+// New returns an empty recorder on the wall clock, with its epoch at now.
 func New() *Recorder {
-	return &Recorder{epoch: time.Now()}
+	return NewWithClock(time.Now)
+}
+
+// NewWithClock returns an empty recorder reading time from now (nil uses
+// time.Now). Injecting a virtual clock — e.g. sim.Sim.Clock — makes the
+// recorded timeline, and the Chrome trace encoded from it, deterministic:
+// spans land at virtual offsets instead of wall time.
+func NewWithClock(now func() time.Time) *Recorder {
+	if now == nil {
+		now = time.Now
+	}
+	return &Recorder{epoch: now(), now: now}
 }
 
 // Span records a completed span that started at start and ended now.
@@ -42,7 +54,7 @@ func (r *Recorder) Span(track, name string, start time.Time, args map[string]int
 	if r == nil {
 		return
 	}
-	now := time.Now()
+	now := r.now()
 	r.mu.Lock()
 	r.events = append(r.events, Event{
 		Track: track,
@@ -60,7 +72,7 @@ func (r *Recorder) Begin(track, name string, args map[string]interface{}) func()
 	if r == nil {
 		return func() {}
 	}
-	start := time.Now()
+	start := r.now()
 	return func() { r.Span(track, name, start, args) }
 }
 

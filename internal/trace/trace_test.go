@@ -121,3 +121,39 @@ func TestWriteChromeTrace(t *testing.T) {
 		t.Fatal("tracks should map to distinct thread IDs")
 	}
 }
+
+func TestNewWithClockNilFallsBack(t *testing.T) {
+	r := NewWithClock(nil)
+	r.Begin("train", "iteration", nil)()
+	if r.Len() != 1 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+}
+
+func TestScriptedClockDeterministicSpans(t *testing.T) {
+	record := func() []Event {
+		now := time.Unix(0, 0).UTC()
+		clock := func() time.Time {
+			now = now.Add(10 * time.Millisecond)
+			return now
+		}
+		r := NewWithClock(clock)
+		r.Begin("train", "iteration", nil)()
+		r.Begin("checkpoint", "diff-add", nil)()
+		return r.Events()
+	}
+	a, b := record(), record()
+	if len(a) != 2 || len(b) != 2 {
+		t.Fatalf("got %d/%d events", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Start != b[i].Start || a[i].Dur != b[i].Dur {
+			t.Fatalf("scripted-clock runs diverged at %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	// With the epoch at the first clock read, offsets are exact multiples
+	// of the scripted step.
+	if a[0].Start != 10*time.Millisecond || a[0].Dur != 10*time.Millisecond {
+		t.Fatalf("span 0 = start %v dur %v, want 10ms/10ms", a[0].Start, a[0].Dur)
+	}
+}

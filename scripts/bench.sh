@@ -1,0 +1,28 @@
+#!/bin/sh
+# Benchmark baseline refresh: runs the tier-1 benchmark suites plus the
+# observability-layer benchmarks and writes the parsed results to
+# BENCH_obs.json (benchmark name -> ns/op, B/op, allocs/op).
+#
+#   BENCHTIME=1x scripts/bench.sh     # CI smoke: one iteration per benchmark
+#   BENCH_OUT=/tmp/b.json scripts/bench.sh
+#
+# Run from the repository root. The baseline is checked in so reviewers can
+# spot order-of-magnitude regressions in diffs; ns/op values are machine-
+# dependent and only comparable against runs on the same hardware.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+BENCHTIME="${BENCHTIME:-1s}"
+BENCH_OUT="${BENCH_OUT:-BENCH_obs.json}"
+
+tmp=$(mktemp)
+trap 'rm -f "$tmp"' EXIT
+
+for pkg in ./internal/comm ./internal/compress ./internal/obs .; do
+    echo "== go test -bench $pkg (benchtime $BENCHTIME) ==" >&2
+    go test -run '^$' -bench . -benchmem -benchtime "$BENCHTIME" "$pkg" | tee -a "$tmp" >&2
+done
+
+go run ./cmd/benchfmt <"$tmp" >"$BENCH_OUT"
+echo "wrote $BENCH_OUT" >&2

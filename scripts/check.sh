@@ -20,7 +20,7 @@ go vet ./...
 echo "== lowdifflint (determinism, checkederr, floateq, mutexcopy, deferunlock) =="
 go run ./cmd/lowdifflint ./...
 
-echo "== go test -race (core, storage, recovery) =="
-go test -race ./internal/core/... ./internal/storage/... ./internal/recovery/...
+echo "== go test -race (core, storage, recovery, obs) =="
+go test -race ./internal/core/... ./internal/storage/... ./internal/recovery/... ./internal/obs/...
 
 echo "all checks passed"

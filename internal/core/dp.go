@@ -1,0 +1,378 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"lowdiff/internal/checkpoint"
+	"lowdiff/internal/comm"
+	"lowdiff/internal/compress"
+	"lowdiff/internal/model"
+	"lowdiff/internal/obs"
+	"lowdiff/internal/optim"
+	"lowdiff/internal/tensor"
+)
+
+// Data-parallel LowDiff (§4): Workers lock-step ranks with Top-K gradient
+// compression, a reusing queue to an asynchronous checkpointer, batched
+// differential writes, and periodic full checkpoints.
+
+// initDP validates the data-parallel options and wires the dpTopology /
+// chainSnapshotter pair.
+func (e *Engine) initDP() error {
+	opts := e.opts
+	if opts.Workers < 1 {
+		return fmt.Errorf("core: %d workers; need at least 1", opts.Workers)
+	}
+	if opts.FullEvery < 1 {
+		return fmt.Errorf("core: FullEvery %d must be >= 1", opts.FullEvery)
+	}
+	if opts.BatchSize < 1 {
+		return fmt.Errorf("core: BatchSize %d must be >= 1", opts.BatchSize)
+	}
+	if opts.RetainFulls < 0 {
+		return fmt.Errorf("core: RetainFulls %d must be >= 0", opts.RetainFulls)
+	}
+	if opts.FullEvery%opts.BatchSize != 0 {
+		return fmt.Errorf("core: FullEvery (%d) must be a multiple of BatchSize (%d) so batches never straddle a full checkpoint",
+			opts.FullEvery, opts.BatchSize)
+	}
+	if opts.Codec == "randk" && opts.Workers > 1 {
+		return fmt.Errorf("core: randk selects different indices per worker; use topk or identity for multi-worker runs")
+	}
+	group, err := comm.NewGroup(opts.Workers)
+	if err != nil {
+		return err
+	}
+	e.group = group
+	n := opts.Spec.NumParams()
+	for w := 0; w < opts.Workers; w++ {
+		p := model.NewParams(opts.Spec)
+		p.InitUniform(opts.Seed + 1) // same init on every worker
+		e.params = append(e.params, p)
+		o, err := newOptimizer(opts, n)
+		if err != nil {
+			return err
+		}
+		e.opts2 = append(e.opts2, o)
+		c, err := compress.New(opts.Codec, opts.Rho, opts.Seed+uint64(w))
+		if err != nil {
+			return err
+		}
+		if opts.ErrorFeedback {
+			ef, err := compress.NewErrorFeedback(c, n)
+			if err != nil {
+				return err
+			}
+			c = ef
+		}
+		e.comps = append(e.comps, c)
+	}
+	if opts.Store != nil && !opts.DisableDiffs {
+		kind := checkpoint.KindGradient
+		if opts.NaiveDC {
+			kind = checkpoint.KindStateDelta
+		}
+		if err := e.newWriter(kind); err != nil {
+			return err
+		}
+	}
+	chain := &chainSnapshotter{e: e}
+	e.topo = &dpTopology{e: e, chain: chain}
+	e.snap = chain
+	return nil
+}
+
+// dpTopology runs Workers data-parallel ranks over replicated parameters.
+type dpTopology struct {
+	e     *Engine
+	chain *chainSnapshotter
+}
+
+func (d *dpTopology) ranks() int      { return d.e.opts.Workers }
+func (d *dpTopology) rankKey() string { return "workers" }
+func (d *dpTopology) begin(*runCtx)   {}
+func (d *dpTopology) end(*runCtx)     {}
+
+func (d *dpTopology) registerMetrics(reg *obs.Registry) {
+	e := d.e
+	reg.FuncGauge("engine.iter", func() float64 { return float64(e.live.Load()) })
+	reg.FuncGauge("engine.health", func() float64 { return float64(e.Health()) })
+	reg.FuncGauge("engine.workers", func() float64 { return float64(e.opts.Workers) })
+}
+
+func (d *dpTopology) newRank(rc *runCtx, w int) rankRunner {
+	e := d.e
+	r := &dpRank{
+		e:     e,
+		chain: d.chain,
+		w:     w,
+		p:     e.params[w],
+		o:     e.opts2[w],
+		g:     tensor.New(e.opts.Spec.NumParams()),
+	}
+	// Naïve DC retains the previous model state to compute the
+	// differential from — the extra memory cost §3.4 points out.
+	if e.opts.NaiveDC && w == 0 && rc.queue != nil {
+		r.prev = r.p.Flat.Clone()
+		r.delta = tensor.New(len(r.p.Flat))
+	}
+	return r
+}
+
+// dpRank is one data-parallel worker's per-iteration state.
+type dpRank struct {
+	e           *Engine
+	chain       *chainSnapshotter
+	w           int
+	p           *model.Params
+	o           optim.Optimizer
+	g           tensor.Vector
+	prev, delta tensor.Vector // Naïve DC state (worker 0 only)
+}
+
+func (r *dpRank) step(rc *runCtx, t int64) error {
+	e, w := r.e, r.w
+	var iterDone func()
+	if w == 0 {
+		e.live.Store(t)
+		if t%int64(e.opts.FullEvery) == 0 {
+			e.events.Emit("train.milestone", map[string]any{"iter": t})
+		}
+		iterDone = e.opts.Trace.Begin("train", "iteration",
+			map[string]interface{}{"iter": t})
+	}
+	// Backward pass.
+	if err := e.oracle.Local(r.p.Flat, w, int(t), r.g); err != nil {
+		return err
+	}
+	// Compress.
+	local, err := e.comps[w].Compress(r.g)
+	if err != nil {
+		return err
+	}
+	// Synchronize.
+	var syncDone func()
+	if w == 0 {
+		syncDone = e.opts.Trace.Begin("train", "sync", nil)
+	}
+	synced, err := e.group.AllGatherSparse(w, local)
+	if w == 0 {
+		syncDone()
+	}
+	if err != nil {
+		return err
+	}
+	// Reuse: zero-copy hand-off to the checkpointing process
+	// (LowDiff path; Naïve DC checkpoints after the update).
+	if w == 0 && rc.queue != nil && !e.opts.NaiveDC {
+		if err := rc.queue.Put(Item{Iter: t, Layer: -1, Grad: synced}); err != nil {
+			return err
+		}
+	}
+	// Decompress + update (StepSparse fuses the two).
+	if err := applyCompressed(r.o, r.p.Flat, synced); err != nil {
+		return err
+	}
+	// Naïve DC: compute and compress the state delta — this is
+	// the compression stall of §3.1 Challenge 1, paid inline.
+	if r.prev != nil {
+		for i, x := range r.p.Flat {
+			r.delta[i] = x - r.prev[i]
+		}
+		copy(r.prev, r.p.Flat)
+		cd, err := e.comps[w].Compress(r.delta)
+		if err != nil {
+			return err
+		}
+		if err := rc.queue.Put(Item{Iter: t, Layer: -1, Grad: cd}); err != nil {
+			return err
+		}
+	}
+	if w == 0 {
+		iterDone()
+	}
+	// Full checkpoint regularly — and on demand when the
+	// fault-tolerance ladder requests a fresh chain base:
+	// synchronous snapshot, asynchronous persist.
+	if w == 0 && e.opts.Store != nil {
+		fallback := e.needFull.CompareAndSwap(true, false)
+		if fallback || t%int64(e.opts.FullEvery) == 0 {
+			var full *checkpoint.Full
+			e.FullSnapshotTimer.Time(func() {
+				full = &checkpoint.Full{
+					Iter:   t,
+					Params: r.p.Flat.Clone(),
+					Opt:    r.o.Snapshot(),
+				}
+			})
+			r.chain.fullCh <- full
+		}
+	}
+	return nil
+}
+
+// chainSnapshotter persists the LowDiff differential chain: an asynchronous
+// diff consumer batching queue items into store writes, plus an asynchronous
+// full-checkpoint persister (CheckFreq-style).
+type chainSnapshotter struct {
+	e      *Engine
+	fullCh chan *checkpoint.Full
+	wg     sync.WaitGroup
+}
+
+func (s *chainSnapshotter) begin(rc *runCtx) error {
+	e := s.e
+	if e.opts.Store == nil {
+		return nil
+	}
+	s.fullCh = make(chan *checkpoint.Full, 4)
+	if e.writer != nil {
+		q, err := NewReusingQueue(e.opts.QueueCap)
+		if err != nil {
+			return err
+		}
+		rc.queue = q
+		e.registerQueueMetrics(q)
+		s.wg.Add(1)
+		go s.consumeDiffs(rc)
+	}
+	s.wg.Add(1)
+	go s.persistFulls(rc)
+	return nil
+}
+
+func (s *chainSnapshotter) initialFull(rc *runCtx) error {
+	e := s.e
+	if e.opts.Store == nil {
+		return nil
+	}
+	s.fullCh <- &checkpoint.Full{
+		Iter:   0,
+		Params: e.params[0].Flat.Clone(),
+		Opt:    e.opts2[0].Snapshot(),
+	}
+	return nil
+}
+
+func (s *chainSnapshotter) end(rc *runCtx) {
+	if rc.queue != nil {
+		rc.queue.Close()
+	}
+	if s.fullCh != nil {
+		close(s.fullCh)
+	}
+	s.wg.Wait()
+}
+
+func (s *chainSnapshotter) runEndFields(stats *RunStats) map[string]any {
+	return map[string]any{
+		"iter": s.e.iter, "diff_writes": stats.DiffWrites, "full_writes": stats.FullWrites,
+	}
+}
+
+func (s *chainSnapshotter) registerMetrics(reg *obs.Registry) {
+	e := s.e
+	if e.writer != nil {
+		w := e.writer
+		reg.FuncCounter("ckpt.diff.writes", w.Writes.Value)
+		reg.FuncCounter("ckpt.diff.batches", w.Batches.Value)
+		reg.FuncCounter("ckpt.diff.bytes", w.Bytes.Value)
+		reg.FuncGauge("ckpt.diff.pending_bytes", func() float64 { return float64(w.PendingBytes.Value()) })
+	}
+	reg.FuncCounter("ckpt.full.writes", e.fullWrites.Value)
+	reg.FuncCounter("ckpt.full.snapshots", e.FullSnapshotTimer.Count)
+	reg.FuncGauge("ckpt.full.snapshot_seconds", func() float64 { return e.FullSnapshotTimer.Total().Seconds() })
+	fs := &e.faults
+	reg.FuncCounter("fault.diff_retries", fs.DiffRetries.Value)
+	reg.FuncCounter("fault.full_retries", fs.FullRetries.Value)
+	reg.FuncCounter("fault.diff_failures", fs.DiffFailures.Value)
+	reg.FuncCounter("fault.full_failures", fs.FullFailures.Value)
+	reg.FuncCounter("fault.full_fallbacks", fs.FullFallbacks.Value)
+	reg.FuncCounter("fault.dropped_diffs", fs.DroppedDiffs.Value)
+	reg.FuncCounter("fault.gc_failures", fs.GCFailures.Value)
+	reg.FuncCounter("fault.degradations", fs.Degradations.Value)
+	reg.FuncCounter("fault.recoveries", fs.Recoveries.Value)
+}
+
+// consumeDiffs is the checkpointing process: diff consumer (§4.1 Alg. 1).
+func (s *chainSnapshotter) consumeDiffs(rc *runCtx) {
+	defer s.wg.Done()
+	e := s.e
+	broken := false
+	suspended := false
+	onDiffFailure := func(iter int64) {
+		// Persistent differential-write failure: the open batch
+		// is lost, so the chain after the last full checkpoint
+		// is broken. Drop the batch, request a full checkpoint
+		// as a fresh chain base, and discard gradients until
+		// that base lands.
+		e.faults.DiffFailures.Inc()
+		e.writer.Drop()
+		suspended = true
+		e.degradeTo(HealthDegradedDiff)
+		e.faults.FullFallbacks.Inc()
+		e.events.Emit("ckpt.diff.fallback", map[string]any{"iter": iter})
+		e.needFull.Store(true)
+	}
+	for {
+		it, err := rc.queue.Get()
+		if err != nil {
+			return // closed and drained
+		}
+		if broken {
+			continue // drain so producers never block on a dead sink
+		}
+		if suspended {
+			// Only the first gradient after a freshly persisted
+			// full base can restart the differential chain;
+			// everything else is dropped (and accounted).
+			if e.Health() == HealthDegraded || it.Iter != e.lastFullIter.Load()+1 {
+				e.faults.DroppedDiffs.Inc()
+				e.events.Emit("ckpt.diff.drop", map[string]any{"iter": it.Iter})
+				continue
+			}
+			suspended = false
+		}
+		writeDone := e.opts.Trace.Begin("checkpoint", "diff-add",
+			map[string]interface{}{"iter": it.Iter})
+		err = e.writer.Add(it.Iter, it.Grad)
+		writeDone()
+		if err != nil {
+			if e.ft == nil {
+				rc.errCh <- err
+				broken = true
+			} else {
+				onDiffFailure(it.Iter)
+			}
+			continue
+		}
+		// Cut batches at full-checkpoint boundaries so a batch
+		// never straddles the recovery base.
+		if it.Iter%int64(e.opts.FullEvery) == 0 {
+			if err := e.writer.Cut(); err != nil {
+				if e.ft == nil {
+					rc.errCh <- err
+					broken = true
+				} else {
+					onDiffFailure(it.Iter)
+				}
+			}
+		}
+	}
+}
+
+// persistFulls is the asynchronous full-checkpoint persister.
+func (s *chainSnapshotter) persistFulls(rc *runCtx) {
+	defer s.wg.Done()
+	broken := false
+	for f := range s.fullCh {
+		if broken {
+			continue // drain so the trainer never blocks on a dead sink
+		}
+		if err := s.e.persistFull(f); err != nil {
+			rc.errCh <- err
+			broken = true
+		}
+	}
+}

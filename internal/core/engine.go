@@ -19,10 +19,13 @@ import (
 	"lowdiff/internal/trace"
 )
 
-// Options configures a functional LowDiff training engine.
+// Options configures a functional LowDiff training engine. The zero strategy
+// is data-parallel LowDiff (§4); setting Plus or PP selects the LowDiff+
+// replica strategy (§5) or pipeline-parallel stage checkpointing (§6) on the
+// same engine core.
 type Options struct {
 	Spec    model.Spec
-	Workers int // data-parallel workers (>= 1)
+	Workers int // data-parallel workers (>= 1); ignored under PP
 
 	// Optimizer selects "adam" (default) or "sgd"; LR 0 uses the
 	// optimizer's default learning rate.
@@ -32,12 +35,14 @@ type Options struct {
 
 	// Codec selects the gradient compressor: "topk" (default), "randk",
 	// or "identity". Rho is the sparsification ratio (default 0.01).
+	// The Plus strategy ignores both: LowDiff+ trains dense and offloads
+	// uncompressed layer snapshots.
 	Codec string
 	Rho   float64
 	// ErrorFeedback wraps each worker's compressor with an error-feedback
 	// residual memory, the standard companion of aggressive sparsification
 	// (checkpointing is unaffected: the synchronized gradient already
-	// includes the fed-back residual).
+	// includes the fed-back residual). Data-parallel LowDiff only.
 	ErrorFeedback bool
 
 	// Store receives checkpoints; nil disables checkpointing entirely.
@@ -48,10 +53,12 @@ type Options struct {
 	// frequency is expressed through BatchSize, which accumulates that
 	// many gradients per store write. DisableDiffs turns differential
 	// checkpoints off, leaving CheckFreq-style full-only checkpointing.
+	// The Plus strategy ignores all three (it persists replica fulls on
+	// Plus.PersistEvery instead).
 	FullEvery    int
 	BatchSize    int // batched gradient write size (default 1)
 	DisableDiffs bool
-	QueueCap     int // reusing queue bound (default 16)
+	QueueCap     int // reusing queue bound (default 16; Plus: 4× layers, min 8)
 	// RetainFulls keeps only the newest N full checkpoints, garbage
 	// collecting older fulls and the differentials they obsolete after
 	// each full persist (0 keeps everything).
@@ -83,14 +90,41 @@ type Options struct {
 	Trace *trace.Recorder
 
 	// Metrics, when non-nil, registers the engine's live instruments
-	// (engine.*, ckpt.*, queue.*, fault.*) for export through the obs
-	// endpoints; the registrations read the engine's existing counters,
-	// so the hot paths are untouched. Nil disables registration.
+	// (engine.*, ckpt.*, queue.*, fault.*, plus.*, pp.* depending on the
+	// strategy) for export through the obs endpoints; the registrations
+	// read the engine's existing counters, so the hot paths are untouched.
+	// Nil disables registration.
 	Metrics *obs.Registry
 	// Events, when non-nil, receives structured run lifecycle events:
 	// run start/end, iteration milestones, full/diff persists, retries,
 	// fallbacks, and health-ladder transitions. Nil disables emission.
 	Events *obs.EventLog
+
+	// Plus selects the LowDiff+ strategy (§5): dense data-parallel
+	// training with layer-wise gradient offload into a CPU-resident
+	// replica, persisted as periodic fulls. Mutually exclusive with PP.
+	Plus *PlusSpec
+	// PP selects pipeline-parallel stage checkpointing (§6): PP.Stages
+	// rank goroutines each own one contiguous StageRange of the model;
+	// stage diffs are merged by a coordinator into one global chain.
+	// Mutually exclusive with Plus.
+	PP *PPSpec
+}
+
+// PlusSpec holds the LowDiff+-specific knobs of Options.
+type PlusSpec struct {
+	// PersistEvery persists the replica to the store every so many
+	// iterations (default 10); the replica itself advances every
+	// iteration regardless.
+	PersistEvery int
+	// SnapshotWorkers sizes the layer-snapshot offload pool P_s
+	// (default 4).
+	SnapshotWorkers int
+}
+
+// PPSpec holds the pipeline-parallel-specific knobs of Options.
+type PPSpec struct {
+	Stages int // pipeline stages (>= 1)
 }
 
 func (o Options) withDefaults() Options {
@@ -110,10 +144,29 @@ func (o Options) withDefaults() Options {
 		o.BatchSize = 1
 	}
 	if o.QueueCap == 0 {
-		o.QueueCap = 16
+		if o.Plus != nil {
+			// LowDiff+ queues per-layer snapshots, so the bound scales
+			// with the model's layer count (§5.2).
+			o.QueueCap = 4 * len(o.Spec.Layers)
+			if o.QueueCap < 8 {
+				o.QueueCap = 8
+			}
+		} else {
+			o.QueueCap = 16
+		}
 	}
 	if o.Noise == 0 {
 		o.Noise = 0.05
+	}
+	if o.Plus != nil {
+		ps := *o.Plus
+		if ps.PersistEvery == 0 {
+			ps.PersistEvery = 10
+		}
+		if ps.SnapshotWorkers == 0 {
+			ps.SnapshotWorkers = 4
+		}
+		o.Plus = &ps
 	}
 	return o
 }
@@ -128,19 +181,32 @@ type RunStats struct {
 	BlockedPuts   int64         // queue back-pressure events
 	QueueHighMark int64         // peak queue occupancy
 	FinalLoss     float64
+
+	// LowDiff+ strategy only.
+	LayerSnapshots int64 // layer gradients applied to the replica
+	SnapshotBytes  int64 // bytes offloaded to the replica
+	ReplicaSteps   int64 // optimizer steps applied to the replica
 }
 
-// Engine is the functional LowDiff trainer: Workers lock-step data-parallel
-// ranks with Top-K gradient compression, a reusing queue to an asynchronous
-// checkpointer, batched differential writes, and periodic full checkpoints.
+// Engine is the unified LowDiff trainer: rank goroutines run the canonical
+// step loop (gradient → compress → synchronize → apply → checkpoint
+// hand-off) while a strategy-supplied Topology/Snapshotter pair decides what
+// a rank is (data-parallel worker or pipeline stage) and how checkpoints
+// flow (differential chain, stage merge, or CPU-resident replica).
 type Engine struct {
 	opts   Options
 	oracle *grad.Oracle
 	group  *comm.Group
 
-	params []*model.Params   // per worker
-	opts2  []optim.Optimizer // per worker
+	topo Topology
+	snap Snapshotter
+	rep  Replica // non-nil only under the Plus strategy
+	tag  string  // event "engine" tag; "" for the data-parallel default
+
+	params []*model.Params   // per worker (single shared entry under PP)
+	opts2  []optim.Optimizer // per worker (per stage under PP)
 	comps  []compress.Compressor
+	stages []StageRange // PP only
 
 	writer *BatchedWriter
 	iter   int64        // completed iterations
@@ -148,6 +214,12 @@ type Engine struct {
 
 	events     *obs.EventLog
 	fullWrites metrics.Counter // full checkpoints persisted, across Run calls
+
+	// LowDiff+ accounting (maintained by the replica snapshotter).
+	layerSnapshots metrics.Counter
+	snapshotBytes  metrics.Counter
+	replicaSteps   metrics.Counter
+	snapTimer      metrics.Timer // trainer time waiting on layer offloads
 
 	// Fault-tolerance state (active when opts.FaultTolerance != nil).
 	ft           *FaultToleranceOptions
@@ -160,123 +232,90 @@ type Engine struct {
 	FullSnapshotTimer metrics.Timer
 }
 
-// NewEngine validates options and builds the engine.
+// NewEngine validates options and builds the engine for the selected
+// strategy.
 func NewEngine(opts Options) (*Engine, error) {
 	opts = opts.withDefaults()
 	if err := opts.Spec.Validate(); err != nil {
 		return nil, err
 	}
-	if opts.Workers < 1 {
-		return nil, fmt.Errorf("core: %d workers; need at least 1", opts.Workers)
-	}
-	if opts.FullEvery < 1 {
-		return nil, fmt.Errorf("core: FullEvery %d must be >= 1", opts.FullEvery)
-	}
-	if opts.BatchSize < 1 {
-		return nil, fmt.Errorf("core: BatchSize %d must be >= 1", opts.BatchSize)
-	}
-	if opts.RetainFulls < 0 {
-		return nil, fmt.Errorf("core: RetainFulls %d must be >= 0", opts.RetainFulls)
-	}
-	if opts.FullEvery%opts.BatchSize != 0 {
-		return nil, fmt.Errorf("core: FullEvery (%d) must be a multiple of BatchSize (%d) so batches never straddle a full checkpoint",
-			opts.FullEvery, opts.BatchSize)
+	if opts.Plus != nil && opts.PP != nil {
+		return nil, fmt.Errorf("core: the Plus and PP strategies are mutually exclusive")
 	}
 	oracle, err := grad.New(opts.Spec, opts.Seed, opts.Noise)
 	if err != nil {
 		return nil, err
 	}
-	group, err := comm.NewGroup(opts.Workers)
+	e := &Engine{opts: opts, oracle: oracle, ft: opts.FaultTolerance, events: opts.Events}
+	e.lastFullIter.Store(-1)
+	switch {
+	case opts.PP != nil:
+		err = e.initPP()
+	case opts.Plus != nil:
+		err = e.initPlus()
+	default:
+		err = e.initDP()
+	}
 	if err != nil {
 		return nil, err
-	}
-	e := &Engine{opts: opts, oracle: oracle, group: group, ft: opts.FaultTolerance, events: opts.Events}
-	e.lastFullIter.Store(-1)
-	n := opts.Spec.NumParams()
-	for w := 0; w < opts.Workers; w++ {
-		p := model.NewParams(opts.Spec)
-		p.InitUniform(opts.Seed + 1) // same init on every worker
-		e.params = append(e.params, p)
-		var o optim.Optimizer
-		switch opts.Optimizer {
-		case "adam":
-			o = optim.NewAdam(n, optim.AdamConfig{LR: opts.LR})
-		case "sgd":
-			o = optim.NewSGD(n, optim.SGDConfig{LR: opts.LR, Momentum: opts.Momentum})
-		default:
-			return nil, fmt.Errorf("core: unknown optimizer %q", opts.Optimizer)
-		}
-		e.opts2 = append(e.opts2, o)
-		c, err := compress.New(opts.Codec, opts.Rho, opts.Seed+uint64(w))
-		if err != nil {
-			return nil, err
-		}
-		if opts.ErrorFeedback {
-			ef, err := compress.NewErrorFeedback(c, n)
-			if err != nil {
-				return nil, err
-			}
-			c = ef
-		}
-		e.comps = append(e.comps, c)
-	}
-	if opts.Codec == "randk" && opts.Workers > 1 {
-		return nil, fmt.Errorf("core: randk selects different indices per worker; use topk or identity for multi-worker runs")
-	}
-	if opts.Store != nil && !opts.DisableDiffs {
-		kind := checkpoint.KindGradient
-		if opts.NaiveDC {
-			kind = checkpoint.KindStateDelta
-		}
-		w, err := NewBatchedWriter(opts.Store, opts.BatchSize, kind)
-		if err != nil {
-			return nil, err
-		}
-		if e.ft != nil {
-			retry := e.ft.Retry
-			w.Retry = &retry
-			w.OnRetry = func(attempt int, err error) {
-				e.faults.DiffRetries.Inc()
-				e.events.Emit("ckpt.diff.retry", map[string]any{"attempt": attempt, "error": err.Error()})
-			}
-		}
-		w.Events = opts.Events
-		e.writer = w
 	}
 	e.registerMetrics(opts.Metrics)
 	return e, nil
 }
 
+// newOptimizer builds one optimizer instance over n parameters from the
+// shared optimizer options.
+func newOptimizer(opts Options, n int) (optim.Optimizer, error) {
+	switch opts.Optimizer {
+	case "adam":
+		return optim.NewAdam(n, optim.AdamConfig{LR: opts.LR}), nil
+	case "sgd":
+		return optim.NewSGD(n, optim.SGDConfig{LR: opts.LR, Momentum: opts.Momentum}), nil
+	default:
+		return nil, fmt.Errorf("core: unknown optimizer %q", opts.Optimizer)
+	}
+}
+
+// newWriter builds the batched differential writer shared by the chain and
+// merge snapshotters, wiring the fault-tolerance retry policy when set.
+func (e *Engine) newWriter(kind checkpoint.DiffKind) error {
+	w, err := NewBatchedWriter(e.opts.Store, e.opts.BatchSize, kind)
+	if err != nil {
+		return err
+	}
+	if e.ft != nil {
+		retry := e.ft.Retry
+		w.Retry = &retry
+		w.OnRetry = func(attempt int, err error) {
+			e.faults.DiffRetries.Inc()
+			e.events.Emit("ckpt.diff.retry", e.fields(map[string]any{"attempt": attempt, "error": err.Error()}))
+		}
+	}
+	w.Events = e.opts.Events
+	e.writer = w
+	return nil
+}
+
+// fields tags an event payload with the strategy's engine tag ("" for the
+// data-parallel default, whose historical payloads are untagged).
+func (e *Engine) fields(kv map[string]any) map[string]any {
+	if e.tag != "" {
+		kv["engine"] = e.tag
+	}
+	return kv
+}
+
 // registerMetrics exposes the engine's counters through an obs registry as
 // func-backed instruments: scrapes read the live values the engine already
-// maintains, so instrumentation adds nothing to the training hot path.
+// maintains, so instrumentation adds nothing to the training hot path. The
+// exported names are strategy-owned (engine.*/ckpt.*/fault.* for
+// data-parallel, plus.* for LowDiff+, pp.* for pipeline-parallel).
 func (e *Engine) registerMetrics(reg *obs.Registry) {
 	if reg == nil {
 		return
 	}
-	reg.FuncGauge("engine.iter", func() float64 { return float64(e.live.Load()) })
-	reg.FuncGauge("engine.health", func() float64 { return float64(e.Health()) })
-	reg.FuncGauge("engine.workers", func() float64 { return float64(e.opts.Workers) })
-	if e.writer != nil {
-		w := e.writer
-		reg.FuncCounter("ckpt.diff.writes", w.Writes.Value)
-		reg.FuncCounter("ckpt.diff.batches", w.Batches.Value)
-		reg.FuncCounter("ckpt.diff.bytes", w.Bytes.Value)
-		reg.FuncGauge("ckpt.diff.pending_bytes", func() float64 { return float64(w.PendingBytes.Value()) })
-	}
-	reg.FuncCounter("ckpt.full.writes", e.fullWrites.Value)
-	reg.FuncCounter("ckpt.full.snapshots", e.FullSnapshotTimer.Count)
-	reg.FuncGauge("ckpt.full.snapshot_seconds", func() float64 { return e.FullSnapshotTimer.Total().Seconds() })
-	fs := &e.faults
-	reg.FuncCounter("fault.diff_retries", fs.DiffRetries.Value)
-	reg.FuncCounter("fault.full_retries", fs.FullRetries.Value)
-	reg.FuncCounter("fault.diff_failures", fs.DiffFailures.Value)
-	reg.FuncCounter("fault.full_failures", fs.FullFailures.Value)
-	reg.FuncCounter("fault.full_fallbacks", fs.FullFallbacks.Value)
-	reg.FuncCounter("fault.dropped_diffs", fs.DroppedDiffs.Value)
-	reg.FuncCounter("fault.gc_failures", fs.GCFailures.Value)
-	reg.FuncCounter("fault.degradations", fs.Degradations.Value)
-	reg.FuncCounter("fault.recoveries", fs.Recoveries.Value)
+	e.topo.registerMetrics(reg)
+	e.snap.registerMetrics(reg)
 }
 
 // registerQueueMetrics re-registers the queue instruments for the current
@@ -298,10 +337,12 @@ func (e *Engine) registerQueueMetrics(q *ReusingQueue) {
 // Iter returns the number of completed iterations.
 func (e *Engine) Iter() int64 { return e.iter }
 
-// Params returns worker 0's live parameter vector (do not mutate).
+// Params returns worker 0's live parameter vector (the single shared vector
+// under PP; do not mutate).
 func (e *Engine) Params() tensor.Vector { return e.params[0].Flat }
 
-// OptState snapshots worker 0's optimizer state.
+// OptState snapshots worker 0's optimizer state. Under PP this is stage 0's
+// state only; use PPEngine.GlobalOptState for the assembled global view.
 func (e *Engine) OptState() optim.State { return e.opts2[0].Snapshot() }
 
 // Loss returns the current objective value at worker 0's parameters.
@@ -327,9 +368,18 @@ func (e *Engine) WorkersInSync() bool {
 	return true
 }
 
-// Run trains iters iterations with per-iteration differential checkpointing
-// and periodic full checkpoints, returning aggregate statistics. Run may be
-// called repeatedly; iteration numbering continues.
+// runBaseline records counter values at Run entry so per-Run deltas can be
+// reported for counters that accumulate across Run calls.
+type runBaseline struct {
+	fullWrites     int64
+	layerSnapshots int64
+	snapshotBytes  int64
+	replicaSteps   int64
+}
+
+// Run trains iters iterations through the canonical step loop with the
+// strategy's checkpointing riding alongside, returning aggregate statistics.
+// Run may be called repeatedly; iteration numbering continues.
 func (e *Engine) Run(iters int) (RunStats, error) {
 	if iters <= 0 {
 		return RunStats{}, fmt.Errorf("core: Run(%d): iteration count must be positive", iters)
@@ -337,300 +387,140 @@ func (e *Engine) Run(iters int) (RunStats, error) {
 	var stats RunStats
 	stats.Iterations = iters
 
-	checkpointing := e.opts.Store != nil
-	var queue *ReusingQueue
-	fullCh := make(chan *checkpoint.Full, 4)
-	errCh := make(chan error, e.opts.Workers+2)
-	var ckptWG sync.WaitGroup
-	fullWritesStart := e.fullWrites.Value()
-	e.events.Emit("run.start", map[string]any{
-		"start_iter": e.iter, "iters": iters, "workers": e.opts.Workers,
-	})
-
-	if checkpointing {
-		if e.writer != nil {
-			q, err := NewReusingQueue(e.opts.QueueCap)
-			if err != nil {
-				return stats, err
-			}
-			queue = q
-			e.registerQueueMetrics(q)
-			ckptWG.Add(1)
-			go func() { // checkpointing process: diff consumer (§4.1 Alg. 1)
-				defer ckptWG.Done()
-				broken := false
-				suspended := false
-				onDiffFailure := func(iter int64) {
-					// Persistent differential-write failure: the open batch
-					// is lost, so the chain after the last full checkpoint
-					// is broken. Drop the batch, request a full checkpoint
-					// as a fresh chain base, and discard gradients until
-					// that base lands.
-					e.faults.DiffFailures.Inc()
-					e.writer.Drop()
-					suspended = true
-					e.degradeTo(HealthDegradedDiff)
-					e.faults.FullFallbacks.Inc()
-					e.events.Emit("ckpt.diff.fallback", map[string]any{"iter": iter})
-					e.needFull.Store(true)
-				}
-				for {
-					it, err := queue.Get()
-					if err != nil {
-						return // closed and drained
-					}
-					if broken {
-						continue // drain so producers never block on a dead sink
-					}
-					if suspended {
-						// Only the first gradient after a freshly persisted
-						// full base can restart the differential chain;
-						// everything else is dropped (and accounted).
-						if e.Health() == HealthDegraded || it.Iter != e.lastFullIter.Load()+1 {
-							e.faults.DroppedDiffs.Inc()
-							e.events.Emit("ckpt.diff.drop", map[string]any{"iter": it.Iter})
-							continue
-						}
-						suspended = false
-					}
-					writeDone := e.opts.Trace.Begin("checkpoint", "diff-add",
-						map[string]interface{}{"iter": it.Iter})
-					err = e.writer.Add(it.Iter, it.Grad)
-					writeDone()
-					if err != nil {
-						if e.ft == nil {
-							errCh <- err
-							broken = true
-						} else {
-							onDiffFailure(it.Iter)
-						}
-						continue
-					}
-					// Cut batches at full-checkpoint boundaries so a batch
-					// never straddles the recovery base.
-					if it.Iter%int64(e.opts.FullEvery) == 0 {
-						if err := e.writer.Cut(); err != nil {
-							if e.ft == nil {
-								errCh <- err
-								broken = true
-							} else {
-								onDiffFailure(it.Iter)
-							}
-						}
-					}
-				}
-			}()
-		}
-		ckptWG.Add(1)
-		go func() { // full-checkpoint persister (asynchronous, CheckFreq-style)
-			defer ckptWG.Done()
-			broken := false
-			for f := range fullCh {
-				if broken {
-					continue // drain so the trainer never blocks on a dead sink
-				}
-				if e.ft != nil && e.Health() == HealthDegraded {
-					continue // ladder bottom: checkpointing suspended
-				}
-				persistDone := e.opts.Trace.Begin("persist", "full-checkpoint",
-					map[string]interface{}{"iter": f.Iter})
-				var err error
-				if e.ft != nil {
-					err = e.ft.Retry.Do(func() error {
-						_, err := checkpoint.SaveFull(e.opts.Store, f)
-						return err
-					}, func(attempt int, err error) {
-						e.faults.FullRetries.Inc()
-						e.events.Emit("ckpt.full.retry", map[string]any{
-							"iter": f.Iter, "attempt": attempt, "error": err.Error(),
-						})
-					})
-				} else {
-					_, err = checkpoint.SaveFull(e.opts.Store, f)
-				}
-				persistDone()
-				if err != nil {
-					e.events.Emit("ckpt.full.fail", map[string]any{"iter": f.Iter, "error": err.Error()})
-					if e.ft == nil {
-						errCh <- err
-						broken = true
-						continue
-					}
-					// Persistent full-checkpoint failure: bottom of the
-					// degradation ladder. Training continues; checkpoint
-					// writes stop until the next engine restart.
-					e.faults.FullFailures.Inc()
-					e.degradeTo(HealthDegraded)
-					continue
-				}
-				e.fullWrites.Inc()
-				e.events.Emit("ckpt.full.persist", map[string]any{"iter": f.Iter})
-				e.lastFullIter.Store(f.Iter)
-				if e.ft != nil {
-					e.restoreHealth() // a fresh base heals diff degradation
-				}
-				if e.opts.RetainFulls > 0 {
-					if err := e.gcOldCheckpoints(); err != nil {
-						if e.ft == nil {
-							errCh <- err
-							broken = true
-						} else {
-							e.faults.GCFailures.Inc()
-						}
-					}
-				}
-			}
-		}()
+	rc := &runCtx{start: e.iter, iters: iters, errCh: make(chan error, e.topo.ranks()+2)}
+	base := runBaseline{
+		fullWrites:     e.fullWrites.Value(),
+		layerSnapshots: e.layerSnapshots.Value(),
+		snapshotBytes:  e.snapshotBytes.Value(),
+		replicaSteps:   e.replicaSteps.Value(),
 	}
+	e.events.Emit("run.start", e.fields(map[string]any{
+		"start_iter": e.iter, "iters": iters, e.topo.rankKey(): e.topo.ranks(),
+	}))
 
-	start := e.iter
+	if err := e.snap.begin(rc); err != nil {
+		return stats, err
+	}
 	// Persist the initial state once so the differential chain always has
 	// a base to recover from, even before the first periodic full
 	// checkpoint.
-	if checkpointing && start == 0 {
-		fullCh <- &checkpoint.Full{
-			Iter:   0,
-			Params: e.params[0].Flat.Clone(),
-			Opt:    e.opts2[0].Snapshot(),
+	if rc.start == 0 {
+		if err := e.snap.initialFull(rc); err != nil {
+			return stats, err
 		}
 	}
+	e.topo.begin(rc)
+
 	var trainWG sync.WaitGroup
-	for w := 0; w < e.opts.Workers; w++ {
+	for w := 0; w < e.topo.ranks(); w++ {
 		trainWG.Add(1)
 		go func(w int) { // training process (§4.1 Alg. 1)
 			defer trainWG.Done()
-			p := e.params[w]
-			o := e.opts2[w]
-			g := tensor.New(e.opts.Spec.NumParams())
-			// Naïve DC retains the previous model state to compute the
-			// differential from — the extra memory cost §3.4 points out.
-			var prev, delta tensor.Vector
-			if e.opts.NaiveDC && w == 0 && queue != nil {
-				prev = p.Flat.Clone()
-				delta = tensor.New(len(p.Flat))
-			}
-			for t := start + 1; t <= start+int64(iters); t++ {
-				var iterDone func()
-				if w == 0 {
-					e.live.Store(t)
-					if t%int64(e.opts.FullEvery) == 0 {
-						e.events.Emit("train.milestone", map[string]any{"iter": t})
-					}
-					iterDone = e.opts.Trace.Begin("train", "iteration",
-						map[string]interface{}{"iter": t})
-				}
-				// Backward pass.
-				if err := e.oracle.Local(p.Flat, w, int(t), g); err != nil {
-					errCh <- err
+			r := e.topo.newRank(rc, w)
+			for t := rc.start + 1; t <= rc.start+int64(iters); t++ {
+				if err := r.step(rc, t); err != nil {
+					rc.errCh <- err
 					return
-				}
-				// Compress.
-				local, err := e.comps[w].Compress(g)
-				if err != nil {
-					errCh <- err
-					return
-				}
-				// Synchronize.
-				var syncDone func()
-				if w == 0 {
-					syncDone = e.opts.Trace.Begin("train", "sync", nil)
-				}
-				synced, err := e.group.AllGatherSparse(w, local)
-				if w == 0 {
-					syncDone()
-				}
-				if err != nil {
-					errCh <- err
-					return
-				}
-				// Reuse: zero-copy hand-off to the checkpointing process
-				// (LowDiff path; Naïve DC checkpoints after the update).
-				if w == 0 && queue != nil && !e.opts.NaiveDC {
-					if err := queue.Put(Item{Iter: t, Layer: -1, Grad: synced}); err != nil {
-						errCh <- err
-						return
-					}
-				}
-				// Decompress + update (StepSparse fuses the two).
-				if err := applyCompressed(o, p.Flat, synced); err != nil {
-					errCh <- err
-					return
-				}
-				// Naïve DC: compute and compress the state delta — this is
-				// the compression stall of §3.1 Challenge 1, paid inline.
-				if prev != nil {
-					for i, x := range p.Flat {
-						delta[i] = x - prev[i]
-					}
-					copy(prev, p.Flat)
-					cd, err := e.comps[w].Compress(delta)
-					if err != nil {
-						errCh <- err
-						return
-					}
-					if err := queue.Put(Item{Iter: t, Layer: -1, Grad: cd}); err != nil {
-						errCh <- err
-						return
-					}
-				}
-				if w == 0 {
-					iterDone()
-				}
-				// Full checkpoint regularly — and on demand when the
-				// fault-tolerance ladder requests a fresh chain base:
-				// synchronous snapshot, asynchronous persist.
-				if w == 0 && checkpointing {
-					fallback := e.needFull.CompareAndSwap(true, false)
-					if fallback || t%int64(e.opts.FullEvery) == 0 {
-						snapStart := time.Now()
-						full := &checkpoint.Full{
-							Iter:   t,
-							Params: p.Flat.Clone(),
-							Opt:    o.Snapshot(),
-						}
-						e.FullSnapshotTimer.Observe(time.Since(snapStart))
-						fullCh <- full
-					}
 				}
 			}
 		}(w)
 	}
 	trainWG.Wait()
-	if queue != nil {
-		queue.Close()
-	}
-	close(fullCh)
-	ckptWG.Wait()
+	e.topo.end(rc)
+	e.snap.end(rc)
 
 	select {
-	case err := <-errCh:
+	case err := <-rc.errCh:
 		return stats, err
 	default:
 	}
 
-	e.iter = start + int64(iters)
+	e.iter = rc.start + int64(iters)
+	e.fillStats(&stats, rc, base)
+	stats.FinalLoss = e.Loss()
+	e.events.Emit("run.end", e.fields(e.snap.runEndFields(&stats)))
+	return stats, nil
+}
+
+func (e *Engine) fillStats(stats *RunStats, rc *runCtx, base runBaseline) {
 	if e.writer != nil {
 		stats.DiffWrites = e.writer.Writes.Value()
 		stats.DiffBytes = e.writer.Bytes.Value()
 	}
-	if queue != nil {
-		stats.BlockedPuts = queue.BlockedPuts.Value()
-		stats.QueueHighMark = queue.Depth.High()
+	if rc.queue != nil {
+		stats.BlockedPuts = rc.queue.BlockedPuts.Value()
+		stats.QueueHighMark = rc.queue.Depth.High()
 	}
-	stats.FullWrites = e.fullWrites.Value() - fullWritesStart
-	stats.SnapshotTime = e.FullSnapshotTimer.Total()
-	stats.FinalLoss = e.Loss()
-	e.events.Emit("run.end", map[string]any{
-		"iter": e.iter, "diff_writes": stats.DiffWrites, "full_writes": stats.FullWrites,
-	})
-	return stats, nil
+	stats.FullWrites = e.fullWrites.Value() - base.fullWrites
+	stats.SnapshotTime = e.FullSnapshotTimer.Total() + e.snapTimer.Total()
+	stats.LayerSnapshots = e.layerSnapshots.Value() - base.layerSnapshots
+	stats.SnapshotBytes = e.snapshotBytes.Value() - base.snapshotBytes
+	stats.ReplicaSteps = e.replicaSteps.Value() - base.replicaSteps
+}
+
+// persistFull is the shared full-checkpoint persistence path: retry ladder,
+// health transitions, retention GC, and the ckpt.full.* events. It is called
+// from snapshotter consumer goroutines (data-parallel, LowDiff+) or inline
+// from stage 0 (pipeline-parallel).
+func (e *Engine) persistFull(f *checkpoint.Full) error {
+	if e.ft != nil && e.Health() == HealthDegraded {
+		return nil // ladder bottom: checkpointing suspended
+	}
+	persistDone := e.opts.Trace.Begin("persist", "full-checkpoint",
+		map[string]interface{}{"iter": f.Iter})
+	var err error
+	if e.ft != nil {
+		err = e.ft.Retry.Do(func() error {
+			_, err := checkpoint.SaveFull(e.opts.Store, f)
+			return err
+		}, func(attempt int, err error) {
+			e.faults.FullRetries.Inc()
+			e.events.Emit("ckpt.full.retry", e.fields(map[string]any{
+				"iter": f.Iter, "attempt": attempt, "error": err.Error(),
+			}))
+		})
+	} else {
+		_, err = checkpoint.SaveFull(e.opts.Store, f)
+	}
+	persistDone()
+	if err != nil {
+		e.events.Emit("ckpt.full.fail", e.fields(map[string]any{"iter": f.Iter, "error": err.Error()}))
+		if e.ft == nil {
+			return err
+		}
+		// Persistent full-checkpoint failure: bottom of the degradation
+		// ladder. Training continues; checkpoint writes stop until the
+		// next engine restart.
+		e.faults.FullFailures.Inc()
+		e.degradeTo(HealthDegraded)
+		return nil
+	}
+	e.fullWrites.Inc()
+	e.events.Emit("ckpt.full.persist", e.fields(map[string]any{"iter": f.Iter}))
+	e.lastFullIter.Store(f.Iter)
+	if e.rep != nil {
+		e.rep.persisted(f.Iter)
+	}
+	if e.ft != nil {
+		e.restoreHealth() // a fresh base heals diff degradation
+	}
+	if e.opts.RetainFulls > 0 {
+		if err := e.gcOldCheckpoints(); err != nil {
+			if e.ft == nil {
+				return err
+			}
+			e.faults.GCFailures.Inc()
+		}
+	}
+	return nil
 }
 
 // Flush persists any open differential batch (call after Run, e.g. before
-// recovery) and, when a retention policy is set, applies it once more now
-// that the asynchronous checkpointers are quiescent (during Run the diff
-// consumer can lag the full persister, so a stale differential may land
-// after the persister's GC pass).
+// recovery), persists unpersisted replica progress under the Plus strategy,
+// and, when a retention policy is set, applies it once more now that the
+// asynchronous checkpointers are quiescent (during Run the diff consumer can
+// lag the full persister, so a stale differential may land after the
+// persister's GC pass).
 func (e *Engine) Flush() error {
 	if e.writer != nil {
 		if err := e.writer.Cut(); err != nil {
@@ -642,6 +532,13 @@ func (e *Engine) Flush() error {
 			// simply ends at the last persisted object).
 			e.faults.DiffFailures.Inc()
 			e.writer.Drop()
+		}
+	}
+	if e.rep != nil && e.opts.Store != nil {
+		if f := e.rep.pendingFull(); f != nil {
+			if err := e.persistFull(f); err != nil {
+				return err
+			}
 		}
 	}
 	if e.opts.Store != nil && e.opts.RetainFulls > 0 {

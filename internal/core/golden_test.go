@@ -1,0 +1,357 @@
+package core
+
+// Golden-equivalence harness for the engine-unification refactor.
+//
+// The fixtures under testdata/golden were generated from the PRE-refactor
+// engines (the three independent Run loops in engine.go / engineplus.go /
+// enginepp.go) and are the proof obligation of the unified pipeline core:
+// for fixed seeds, the unified Engine/Plus/PP paths must reproduce
+//
+//   - every checkpoint object in the store, byte for byte (sha256),
+//   - the loss trajectory, bit for bit (float64 bit patterns),
+//   - the final parameters and optimizer state, byte for byte,
+//   - the JSONL event log, byte for byte — for configurations whose event
+//     stream is single-sourced and therefore deterministic (see each
+//     config's events flag; streams with concurrent emitters interleave
+//     nondeterministically in the pre-refactor engines too, so byte
+//     comparison would be meaningless there),
+//   - the deterministic RunStats fields.
+//
+// Regenerate (only for intentional behavior changes, never to paper over
+// an equivalence break) with:
+//
+//	LOWDIFF_UPDATE_GOLDEN=1 go test ./internal/core -run TestGolden
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"lowdiff/internal/model"
+	"lowdiff/internal/obs"
+	"lowdiff/internal/optim"
+	"lowdiff/internal/storage"
+	"lowdiff/internal/tensor"
+)
+
+// goldenFixture is the serialized equivalence record for one configuration.
+type goldenFixture struct {
+	InitialLoss string            `json:"initial_loss"` // float64 bits, hex
+	Losses      []string          `json:"losses"`       // after each Run chunk
+	FinalParams string            `json:"final_params"` // sha256 of raw float32 bits
+	FinalOpt    string            `json:"final_opt"`    // sha256 of canonical opt-state encoding
+	DiffWrites  []int64           `json:"diff_writes"`  // per chunk
+	FullWrites  []int64           `json:"full_writes"`  // per chunk
+	Store       map[string]string `json:"store"`        // object name -> sha256
+	Events      []string          `json:"events,omitempty"`
+}
+
+// goldenEngine adapts the three engine variants to one capture loop.
+type goldenEngine interface {
+	Loss() float64
+	Params() tensor.Vector
+}
+
+type goldenConfig struct {
+	name   string
+	chunks []int
+	store  storage.Store // nil: no checkpointing
+	events bool          // capture the event log (deterministic streams only)
+	build  func(store storage.Store, events *obs.EventLog) (goldenEngine, error)
+	// run executes one chunk and returns (diffWrites, fullWrites).
+	run func(e goldenEngine, iters int) (int64, int64, error)
+	// finish flushes tail state; returns the final optimizer state.
+	finish func(e goldenEngine) (optim.State, error)
+}
+
+func goldenConfigs() []goldenConfig {
+	dp := func(opts Options) goldenConfig {
+		return goldenConfig{
+			build: func(store storage.Store, events *obs.EventLog) (goldenEngine, error) {
+				o := opts
+				o.Store = store
+				o.Events = events
+				return NewEngine(o)
+			},
+			run: func(e goldenEngine, iters int) (int64, int64, error) {
+				st, err := e.(*Engine).Run(iters)
+				return st.DiffWrites, st.FullWrites, err
+			},
+			finish: func(e goldenEngine) (optim.State, error) {
+				if err := e.(*Engine).Flush(); err != nil {
+					return optim.State{}, err
+				}
+				return e.(*Engine).OptState(), nil
+			},
+		}
+	}
+	cfgs := []goldenConfig{}
+
+	// Data-parallel LowDiff: two workers, Top-K, unbatched diffs, uneven
+	// chunks so iteration accounting crosses Run boundaries.
+	c := dp(Options{
+		Spec: model.Tiny(4, 32), Workers: 2, Rho: 0.1, LR: 0.02,
+		FullEvery: 5, BatchSize: 1, Seed: 101,
+	})
+	c.name, c.chunks, c.store = "dp-diff", []int{7, 6, 7}, storage.NewMem()
+	cfgs = append(cfgs, c)
+
+	// Batched diffs + SGD momentum + retention GC; a tail batch is left
+	// open at the end of the run for Flush to cut.
+	c = dp(Options{
+		Spec: model.Tiny(3, 24), Workers: 1, Optimizer: "sgd", Momentum: 0.9,
+		LR: 0.05, Rho: 0.2, FullEvery: 6, BatchSize: 3, RetainFulls: 2, Seed: 102,
+	})
+	c.name, c.chunks, c.store = "dp-batched-gc", []int{20}, storage.NewMem()
+	cfgs = append(cfgs, c)
+
+	// Naïve DC ablation: state-delta differentials.
+	c = dp(Options{
+		Spec: model.Tiny(2, 16), Workers: 1, Rho: 0.5,
+		FullEvery: 4, BatchSize: 1, NaiveDC: true, Seed: 103,
+	})
+	c.name, c.chunks, c.store = "dp-naivedc", []int{12}, storage.NewMem()
+	cfgs = append(cfgs, c)
+
+	// Event-log golden for the data-parallel stream: without a store the
+	// only emitters are the main goroutine and worker 0 (milestones), so
+	// the JSONL bytes are fully deterministic.
+	c = dp(Options{
+		Spec: model.Tiny(3, 16), Workers: 2, Rho: 0.2, FullEvery: 4, Seed: 104,
+	})
+	c.name, c.chunks, c.events = "dp-events", []int{9, 3}, true
+	cfgs = append(cfgs, c)
+
+	// LowDiff+: layer-wise snapshotting into the CPU replica with periodic
+	// persistence. The event stream (run lifecycle + persists from the
+	// single persister goroutine) is deterministic, so it is captured too.
+	cfgs = append(cfgs, goldenConfig{
+		name: "plus", chunks: []int{17}, store: storage.NewMem(), events: true,
+		build: func(store storage.Store, events *obs.EventLog) (goldenEngine, error) {
+			return NewPlusEngine(PlusOptions{
+				Spec: model.Tiny(5, 24), Workers: 2, LR: 0.03,
+				Store: store, PersistEvery: 5, Seed: 105, Events: events,
+			})
+		},
+		run: func(e goldenEngine, iters int) (int64, int64, error) {
+			st, err := e.(*PlusEngine).Run(iters)
+			return 0, st.Persists, err
+		},
+		finish: func(e goldenEngine) (optim.State, error) {
+			return e.(*PlusEngine).RecoverInMemory().Opt, nil
+		},
+	})
+
+	// Pipeline-parallel: four stages, batched assembled diffs. The diff
+	// persister (coordinator goroutine) and the inline full persister
+	// (stage 0) emit concurrently, so only the store bytes — which are
+	// deterministic — are compared, not the event interleaving.
+	cfgs = append(cfgs, goldenConfig{
+		name: "pp", chunks: []int{13, 7}, store: storage.NewMem(),
+		build: func(store storage.Store, events *obs.EventLog) (goldenEngine, error) {
+			return NewPPEngine(PPOptions{
+				Spec: model.Tiny(8, 32), Stages: 4, Rho: 0.2,
+				Store: store, FullEvery: 10, BatchSize: 2, Seed: 106, Events: events,
+			})
+		},
+		run: func(e goldenEngine, iters int) (int64, int64, error) {
+			st, err := e.(*PPEngine).Run(iters)
+			return st.DiffWrites, st.FullWrites, err
+		},
+		finish: func(e goldenEngine) (optim.State, error) {
+			if err := e.(*PPEngine).Flush(); err != nil {
+				return optim.State{}, err
+			}
+			return e.(*PPEngine).GlobalOptState()
+		},
+	})
+	return cfgs
+}
+
+func TestGoldenEquivalence(t *testing.T) {
+	update := os.Getenv("LOWDIFF_UPDATE_GOLDEN") != ""
+	for _, cfg := range goldenConfigs() {
+		cfg := cfg
+		t.Run(cfg.name, func(t *testing.T) {
+			got := captureGolden(t, cfg)
+			path := filepath.Join("testdata", "golden", cfg.name+".json")
+			if update {
+				writeGolden(t, path, got)
+				return
+			}
+			raw, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing fixture (generate with LOWDIFF_UPDATE_GOLDEN=1): %v", err)
+			}
+			var want goldenFixture
+			if err := json.Unmarshal(raw, &want); err != nil {
+				t.Fatal(err)
+			}
+			compareGolden(t, &want, got)
+		})
+	}
+}
+
+func captureGolden(t *testing.T, cfg goldenConfig) *goldenFixture {
+	t.Helper()
+	var buf bytes.Buffer
+	var events *obs.EventLog
+	if cfg.events {
+		events = obs.NewEventLog(&buf)
+	}
+	e, err := cfg.build(cfg.store, events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fx := &goldenFixture{
+		InitialLoss: f64bits(e.Loss()),
+		Store:       map[string]string{},
+	}
+	for _, n := range cfg.chunks {
+		dw, fw, err := cfg.run(e, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fx.Losses = append(fx.Losses, f64bits(e.Loss()))
+		fx.DiffWrites = append(fx.DiffWrites, dw)
+		fx.FullWrites = append(fx.FullWrites, fw)
+	}
+	st, err := cfg.finish(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fx.FinalParams = paramsHash(e.Params())
+	fx.FinalOpt = optStateHash(st)
+	if cfg.store != nil {
+		names, err := cfg.store.List("")
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, name := range names {
+			obj, err := storage.ReadObject(cfg.store, name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fx.Store[name] = sha256hex(obj)
+		}
+	}
+	if cfg.events {
+		if err := events.Err(); err != nil {
+			t.Fatal(err)
+		}
+		for _, line := range bytes.Split(bytes.TrimRight(buf.Bytes(), "\n"), []byte("\n")) {
+			fx.Events = append(fx.Events, string(line))
+		}
+	}
+	return fx
+}
+
+func compareGolden(t *testing.T, want, got *goldenFixture) {
+	t.Helper()
+	if want.InitialLoss != got.InitialLoss {
+		t.Errorf("initial loss: want %s, got %s", want.InitialLoss, got.InitialLoss)
+	}
+	if fmt.Sprint(want.Losses) != fmt.Sprint(got.Losses) {
+		t.Errorf("loss trajectory diverged:\nwant %v\ngot  %v", want.Losses, got.Losses)
+	}
+	if fmt.Sprint(want.DiffWrites) != fmt.Sprint(got.DiffWrites) {
+		t.Errorf("diff writes: want %v, got %v", want.DiffWrites, got.DiffWrites)
+	}
+	if fmt.Sprint(want.FullWrites) != fmt.Sprint(got.FullWrites) {
+		t.Errorf("full writes: want %v, got %v", want.FullWrites, got.FullWrites)
+	}
+	if want.FinalParams != got.FinalParams {
+		t.Errorf("final parameters are not bit-identical")
+	}
+	if want.FinalOpt != got.FinalOpt {
+		t.Errorf("final optimizer state is not bit-identical")
+	}
+	wantNames := sortedKeys(want.Store)
+	gotNames := sortedKeys(got.Store)
+	if fmt.Sprint(wantNames) != fmt.Sprint(gotNames) {
+		t.Errorf("store object set diverged:\nwant %v\ngot  %v", wantNames, gotNames)
+	} else {
+		for _, n := range wantNames {
+			if want.Store[n] != got.Store[n] {
+				t.Errorf("store object %q is not byte-identical", n)
+			}
+		}
+	}
+	if len(want.Events) != len(got.Events) {
+		t.Errorf("event log: want %d lines, got %d", len(want.Events), len(got.Events))
+	} else {
+		for i := range want.Events {
+			if want.Events[i] != got.Events[i] {
+				t.Errorf("event line %d diverged:\nwant %s\ngot  %s", i, want.Events[i], got.Events[i])
+			}
+		}
+	}
+}
+
+func writeGolden(t *testing.T, path string, fx *goldenFixture) {
+	t.Helper()
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.MarshalIndent(fx, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(b, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s", path)
+}
+
+func f64bits(v float64) string {
+	return fmt.Sprintf("0x%016x", math.Float64bits(v))
+}
+
+func sha256hex(b []byte) string {
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}
+
+func paramsHash(v tensor.Vector) string {
+	b := make([]byte, 4*len(v))
+	for i, x := range v {
+		binary.LittleEndian.PutUint32(b[4*i:], math.Float32bits(x))
+	}
+	return sha256hex(b)
+}
+
+// optStateHash canonically encodes an optimizer state (sorted scalar and
+// slot keys, raw float bit patterns) and hashes it.
+func optStateHash(st optim.State) string {
+	var b bytes.Buffer
+	b.WriteString(st.Name)
+	_ = binary.Write(&b, binary.LittleEndian, st.Step)
+	for _, k := range sortedKeys(st.Scalars) {
+		b.WriteString(k)
+		_ = binary.Write(&b, binary.LittleEndian, math.Float64bits(st.Scalars[k]))
+	}
+	for _, k := range sortedKeys(st.Slots) {
+		b.WriteString(k)
+		for _, x := range st.Slots[k] {
+			_ = binary.Write(&b, binary.LittleEndian, math.Float32bits(x))
+		}
+	}
+	return sha256hex(b.Bytes())
+}
+
+func sortedKeys[M ~map[string]V, V any](m M) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,519 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"lowdiff/internal/checkpoint"
+	"lowdiff/internal/comm"
+	"lowdiff/internal/compress"
+	"lowdiff/internal/model"
+	"lowdiff/internal/obs"
+	"lowdiff/internal/optim"
+	"lowdiff/internal/storage"
+	"lowdiff/internal/tensor"
+)
+
+// LowDiff+ (paper §5): gradient reuse without compression, layer-wise
+// snapshotting through an offload pool, a CPU-resident model replica, and
+// asynchronous persistence.
+
+// PlusOptions configures the LowDiff+ engine (paper §5). It is a thin view
+// over the unified Options with a PlusSpec extension.
+type PlusOptions struct {
+	Spec    model.Spec
+	Workers int
+
+	Optimizer string // "adam" (default) or "sgd"
+	LR        float64
+	Momentum  float64
+
+	// Store receives persisted full checkpoints from the CPU replica; nil
+	// keeps checkpoints in memory only.
+	Store storage.Store
+	// PersistEvery persists the CPU replica every so many iterations
+	// (default 10), following CheckFreq-style overlap.
+	PersistEvery int
+	QueueCap     int // layer-item queue bound (default: 4x layer count)
+	// SnapshotWorkers sizes the offload thread pool P_s (Alg. 2): layer
+	// gradients are copied to host memory by pool workers concurrently
+	// with the remaining layers' compute and synchronization; the trainer
+	// waits on the pool (H_s) before reusing its gradient buffer.
+	// Default 4.
+	SnapshotWorkers int
+
+	Seed  uint64
+	Noise float64 // default 0.05
+
+	// Metrics, when non-nil, registers the engine's live instruments
+	// (plus.*) for export through the obs endpoints. Nil disables it.
+	Metrics *obs.Registry
+	// Events, when non-nil, receives run lifecycle events (run start/end,
+	// replica persists). Nil disables emission.
+	Events *obs.EventLog
+}
+
+// PlusStats summarizes one PlusEngine.Run call.
+type PlusStats struct {
+	Iterations     int
+	LayerSnapshots int64         // layer gradients offloaded to CPU
+	SnapshotBytes  int64         // bytes copied GPU->CPU
+	ReplicaSteps   int64         // CPU-replica optimizer steps
+	Persists       int64         // full checkpoints written from the replica
+	SnapshotTime   time.Duration // time spent in layer offload copies
+	FinalLoss      float64
+}
+
+// PlusEngine is the functional LowDiff+ trainer. Workers train with dense
+// (uncompressed) ring-all-reduce gradient synchronization; each layer's
+// synchronized gradient is snapshotted to "CPU memory" as soon as it is
+// produced (reverse layer order, §5.1) and streamed through the reusing
+// queue to the checkpointing process, which maintains an always-up-to-date
+// CPU-resident replica of the model state (§5.2) and persists it
+// asynchronously. Software failures recover from the in-memory replica;
+// hardware failures reload the last persisted checkpoint.
+type PlusEngine struct {
+	*Engine
+}
+
+// NewPlusEngine validates options and builds the engine over the unified
+// core. The CPU replica is initialized as a deep copy of the (identical)
+// worker state, mirroring the paper's copy.deepcopy() at spawn time.
+func NewPlusEngine(opts PlusOptions) (*PlusEngine, error) {
+	e, err := NewEngine(Options{
+		Spec:      opts.Spec,
+		Workers:   opts.Workers,
+		Optimizer: opts.Optimizer,
+		LR:        opts.LR,
+		Momentum:  opts.Momentum,
+		Store:     opts.Store,
+		QueueCap:  opts.QueueCap,
+		Seed:      opts.Seed,
+		Noise:     opts.Noise,
+		Metrics:   opts.Metrics,
+		Events:    opts.Events,
+		Plus: &PlusSpec{
+			PersistEvery:    opts.PersistEvery,
+			SnapshotWorkers: opts.SnapshotWorkers,
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &PlusEngine{Engine: e}, nil
+}
+
+// Run trains iters iterations with layer-wise gradient reuse, per-iteration
+// in-memory checkpointing, and asynchronous persistence every PersistEvery
+// iterations.
+func (e *PlusEngine) Run(iters int) (PlusStats, error) {
+	st, err := e.Engine.Run(iters)
+	return PlusStats{
+		Iterations:     st.Iterations,
+		LayerSnapshots: st.LayerSnapshots,
+		SnapshotBytes:  st.SnapshotBytes,
+		ReplicaSteps:   st.ReplicaSteps,
+		Persists:       st.FullWrites,
+		SnapshotTime:   st.SnapshotTime,
+		FinalLoss:      st.FinalLoss,
+	}, err
+}
+
+// ReplicaIter returns the iteration the CPU replica reflects.
+func (e *PlusEngine) ReplicaIter() int64 { return e.rep.Iter() }
+
+// PersistedIter returns the iteration of the last persisted checkpoint.
+func (e *PlusEngine) PersistedIter() int64 { return e.rep.PersistedIter() }
+
+// RecoverInMemory returns the CPU-resident replica state: the
+// software-failure recovery path (§5.3), available without touching
+// storage.
+func (e *PlusEngine) RecoverInMemory() *State { return e.rep.State() }
+
+// State is a recovered or snapshotted training state (mirrors
+// recovery.State without importing it, to keep core free of a recovery
+// dependency).
+type State struct {
+	Iter   int64
+	Params tensor.Vector
+	Opt    optim.State
+}
+
+// initPlus validates the LowDiff+ options and wires the plusTopology /
+// replicaSnapshotter pair.
+func (e *Engine) initPlus() error {
+	opts := e.opts
+	ps := opts.Plus
+	if opts.Workers < 1 {
+		return fmt.Errorf("core: %d workers; need at least 1", opts.Workers)
+	}
+	if ps.PersistEvery < 1 {
+		return fmt.Errorf("core: PersistEvery %d must be >= 1", ps.PersistEvery)
+	}
+	if ps.SnapshotWorkers < 1 {
+		return fmt.Errorf("core: SnapshotWorkers %d must be >= 1", ps.SnapshotWorkers)
+	}
+	group, err := comm.NewGroup(opts.Workers)
+	if err != nil {
+		return err
+	}
+	e.group = group
+	n := opts.Spec.NumParams()
+	for w := 0; w < opts.Workers; w++ {
+		p := model.NewParams(opts.Spec)
+		p.InitUniform(opts.Seed + 1)
+		e.params = append(e.params, p)
+		o, err := newOptimizer(opts, n)
+		if err != nil {
+			return err
+		}
+		e.opts2 = append(e.opts2, o)
+	}
+	// CPU replica: deep copy of the initial state.
+	ro, err := newOptimizer(opts, n)
+	if err != nil {
+		return err
+	}
+	rep := &plusReplica{params: e.params[0].Clone(), opt: ro}
+	e.rep = rep
+	e.tag = "plus"
+	e.topo = &plusTopology{e: e}
+	e.snap = &replicaSnapshotter{e: e, rep: rep}
+	return nil
+}
+
+// plusReplica is the CPU-resident replica (checkpointing process state).
+type plusReplica struct {
+	mu          sync.Mutex
+	params      *model.Params
+	opt         optim.Optimizer
+	iter        int64
+	persistIter int64 // iteration of the last persisted checkpoint
+}
+
+func (r *plusReplica) Iter() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.iter
+}
+
+func (r *plusReplica) PersistedIter() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.persistIter
+}
+
+func (r *plusReplica) State() *State {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return &State{
+		Iter:   r.iter,
+		Params: r.params.Flat.Clone(),
+		Opt:    r.opt.Snapshot(),
+	}
+}
+
+func (r *plusReplica) persisted(iter int64) {
+	r.mu.Lock()
+	if iter > r.persistIter {
+		r.persistIter = iter
+	}
+	r.mu.Unlock()
+}
+
+func (r *plusReplica) pendingFull() *checkpoint.Full {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.iter <= r.persistIter {
+		return nil
+	}
+	return &checkpoint.Full{
+		Iter:   r.iter,
+		Params: r.params.Flat.Clone(),
+		Opt:    r.opt.Snapshot(),
+	}
+}
+
+func (r *plusReplica) restore(params tensor.Vector, st optim.State, iter int64) error {
+	o, err := optim.FromState(st, len(params))
+	if err != nil {
+		return err
+	}
+	r.mu.Lock()
+	copy(r.params.Flat, params)
+	r.opt = o
+	r.iter = iter
+	r.persistIter = iter
+	r.mu.Unlock()
+	return nil
+}
+
+// snapJob is one layer hand-off to the offload pool.
+type snapJob struct {
+	iter  int64
+	layer int
+	src   tensor.Vector
+	hs    *sync.WaitGroup
+}
+
+// plusTopology runs Workers dense data-parallel ranks and owns the offload
+// thread pool P_s (Alg. 2): pool workers copy synchronized layer gradients
+// from the trainer's buffer to host memory and stream them into the reusing
+// queue. The source slice stays valid until the trainer's next backward
+// pass, and the trainer waits on hs before starting it.
+type plusTopology struct {
+	e      *Engine
+	snapCh chan snapJob
+	poolWG sync.WaitGroup
+}
+
+func (p *plusTopology) ranks() int      { return p.e.opts.Workers }
+func (p *plusTopology) rankKey() string { return "workers" }
+
+func (p *plusTopology) begin(rc *runCtx) {
+	e := p.e
+	p.snapCh = make(chan snapJob, e.opts.Plus.SnapshotWorkers*2)
+	for i := 0; i < e.opts.Plus.SnapshotWorkers; i++ {
+		p.poolWG.Add(1)
+		go func() {
+			defer p.poolWG.Done()
+			for job := range p.snapCh {
+				host := &compress.Compressed{
+					Codec: "identity",
+					N:     len(job.src),
+					Vals:  append([]float32(nil), job.src...),
+				}
+				if err := rc.queue.Put(Item{Iter: job.iter, Layer: job.layer, Grad: host}); err != nil {
+					rc.errCh <- err
+				}
+				job.hs.Done()
+			}
+		}()
+	}
+}
+
+func (p *plusTopology) end(*runCtx) {
+	close(p.snapCh)
+	p.poolWG.Wait() // all snapshots issued before the queue closes
+}
+
+func (p *plusTopology) registerMetrics(*obs.Registry) {}
+
+func (p *plusTopology) newRank(rc *runCtx, w int) rankRunner {
+	e := p.e
+	return &plusRank{
+		e:        e,
+		topo:     p,
+		w:        w,
+		p:        e.params[w],
+		o:        e.opts2[w],
+		g:        tensor.New(e.opts.Spec.NumParams()),
+		layerBuf: tensor.New(maxLayerSize(e.opts.Spec)),
+		offsets:  e.opts.Spec.LayerOffsets(),
+	}
+}
+
+// plusRank is one dense data-parallel worker's per-iteration state.
+type plusRank struct {
+	e        *Engine
+	topo     *plusTopology
+	w        int
+	p        *model.Params
+	o        optim.Optimizer
+	g        tensor.Vector
+	layerBuf tensor.Vector
+	offsets  []int
+}
+
+func (r *plusRank) step(rc *runCtx, t int64) error {
+	e, w := r.e, r.w
+	spec := e.opts.Spec
+	// Backward pass, layer by layer in reverse order; each
+	// layer synchronizes as soon as its gradient exists
+	// (Alg. 2 sync threads) and is snapshotted for reuse.
+	var hs sync.WaitGroup // H_s: outstanding snapshot handles
+	for _, l := range e.oracle.BackwardOrder() {
+		size := spec.Layers[l].Size
+		lg := r.layerBuf[:size]
+		if err := e.oracle.LayerGrad(r.p.Flat, w, int(t), l, lg); err != nil {
+			return err
+		}
+		if err := e.group.RingAllReduceSum(w, lg); err != nil {
+			return err
+		}
+		lg.Scale(1 / float32(e.opts.Workers))
+		view := r.g[r.offsets[l] : r.offsets[l]+size]
+		copy(view, lg)
+		if w == 0 {
+			// Hand the layer to the offload pool; the copy to
+			// host memory overlaps the remaining layers'
+			// compute and synchronization.
+			hs.Add(1)
+			r.topo.snapCh <- snapJob{iter: t, layer: l, src: view, hs: &hs}
+		}
+	}
+	// H_s.wait(): the gradient buffer may not be reused until
+	// every layer snapshot has been taken.
+	if w == 0 {
+		e.snapTimer.Time(hs.Wait)
+	}
+	return r.o.Step(r.p.Flat, r.g)
+}
+
+// replicaSnapshotter is the LowDiff+ checkpointing process: it assembles
+// layer gradients from the reusing queue, keeps the CPU replica in
+// lock-step, and persists it asynchronously every PersistEvery iterations.
+type replicaSnapshotter struct {
+	e          *Engine
+	rep        *plusReplica
+	persistCh  chan *checkpoint.Full
+	assembleWG sync.WaitGroup
+	persistWG  sync.WaitGroup
+}
+
+func (s *replicaSnapshotter) begin(rc *runCtx) error {
+	e := s.e
+	q, err := NewReusingQueue(e.opts.QueueCap)
+	if err != nil {
+		return err
+	}
+	rc.queue = q
+	s.persistCh = make(chan *checkpoint.Full, 2)
+	s.assembleWG.Add(1)
+	go s.assemble(rc)
+	s.persistWG.Add(1)
+	go s.persistLoop(rc)
+	return nil
+}
+
+// initialFull persists the initial replica once so hardware-failure
+// recovery has a base before the first periodic persist.
+func (s *replicaSnapshotter) initialFull(rc *runCtx) error {
+	if s.e.opts.Store == nil {
+		return nil
+	}
+	r := s.rep
+	s.persistCh <- &checkpoint.Full{
+		Iter:   0,
+		Params: r.params.Flat.Clone(),
+		Opt:    r.opt.Snapshot(),
+	}
+	return nil
+}
+
+func (s *replicaSnapshotter) end(rc *runCtx) {
+	rc.queue.Close()
+	s.assembleWG.Wait() // the assembler drains the queue, then exits
+	close(s.persistCh)
+	s.persistWG.Wait() // the persister drains outstanding requests
+}
+
+func (s *replicaSnapshotter) runEndFields(stats *RunStats) map[string]any {
+	return map[string]any{
+		"iter": s.e.iter, "replica_steps": stats.ReplicaSteps, "persists": stats.FullWrites,
+	}
+}
+
+func (s *replicaSnapshotter) registerMetrics(reg *obs.Registry) {
+	e := s.e
+	reg.FuncGauge("plus.replica_iter", func() float64 { return float64(s.rep.Iter()) })
+	reg.FuncGauge("plus.persist_iter", func() float64 { return float64(s.rep.PersistedIter()) })
+	reg.FuncCounter("plus.layer_snapshots", e.layerSnapshots.Value)
+	reg.FuncCounter("plus.snapshot_bytes", e.snapshotBytes.Value)
+	reg.FuncCounter("plus.replica_steps", e.replicaSteps.Value)
+	reg.FuncCounter("plus.persists", e.fullWrites.Value)
+	reg.FuncGauge("plus.snapshot_seconds", func() float64 { return e.snapTimer.Total().Seconds() })
+}
+
+// assemble is the checkpointing process: assemble layer gradients, keep the
+// CPU replica in lock-step, request persists.
+func (s *replicaSnapshotter) assemble(rc *runCtx) {
+	defer s.assembleWG.Done()
+	e, r := s.e, s.rep
+	spec := e.opts.Spec
+	nLayers := len(spec.Layers)
+	offsets := spec.LayerOffsets()
+	assembled := tensor.New(spec.NumParams())
+	seen := 0
+	curIter := int64(0)
+	for {
+		it, err := rc.queue.Get()
+		if err != nil {
+			return
+		}
+		if it.Layer < 0 || it.Layer >= nLayers {
+			rc.errCh <- fmt.Errorf("core: plus checkpointer got layer %d", it.Layer)
+			return
+		}
+		if seen == 0 {
+			curIter = it.Iter
+		} else if it.Iter != curIter {
+			rc.errCh <- fmt.Errorf("core: plus checkpointer got iter %d while assembling %d", it.Iter, curIter)
+			return
+		}
+		// Snapshot: the gradient already lives in host memory here
+		// (the copy happened at enqueue, the offload thread's work);
+		// scatter it into the assembly buffer.
+		off := offsets[it.Layer]
+		view := assembled[off : off+spec.Layers[it.Layer].Size]
+		if err := it.Grad.Decompress(view); err != nil {
+			rc.errCh <- err
+			return
+		}
+		e.layerSnapshots.Inc()
+		e.snapshotBytes.Add(it.Grad.Bytes())
+		seen++
+		if seen < nLayers {
+			continue
+		}
+		// Full gradient assembled: update the CPU replica (§5.2).
+		seen = 0
+		r.mu.Lock()
+		if err := r.opt.Step(r.params.Flat, assembled); err != nil {
+			r.mu.Unlock()
+			rc.errCh <- err
+			return
+		}
+		r.iter = curIter
+		e.replicaSteps.Inc()
+		var toPersist *checkpoint.Full
+		if e.opts.Store != nil && curIter%int64(e.opts.Plus.PersistEvery) == 0 {
+			toPersist = &checkpoint.Full{
+				Iter:   curIter,
+				Params: r.params.Flat.Clone(),
+				Opt:    r.opt.Snapshot(),
+			}
+		}
+		r.mu.Unlock()
+		if toPersist != nil {
+			s.persistCh <- toPersist
+		}
+	}
+}
+
+// persistLoop is the asynchronous persister, sharing the engine's full
+// persistence path (retry ladder, fullWrites accounting, events).
+func (s *replicaSnapshotter) persistLoop(rc *runCtx) {
+	defer s.persistWG.Done()
+	broken := false
+	for f := range s.persistCh {
+		if broken {
+			continue // drain so the assembler never blocks on a dead sink
+		}
+		if err := s.e.persistFull(f); err != nil {
+			rc.errCh <- err
+			broken = true
+		}
+	}
+}
+
+func maxLayerSize(spec model.Spec) int {
+	m := 0
+	for _, l := range spec.Layers {
+		if l.Size > m {
+			m = l.Size
+		}
+	}
+	return m
+}

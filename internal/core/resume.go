@@ -12,26 +12,84 @@ import (
 // the recovered state and iteration numbering resumes where the failed job
 // stopped. With the same Options (seed included), the resumed trajectory
 // is the one the original job would have taken — the failover tests assert
-// this bit-exactly.
+// this bit-exactly. Under the PP strategy the global optimizer state is
+// split back into per-stage states; under Plus the CPU replica is restored
+// alongside the workers.
 func ResumeEngine(opts Options, params tensor.Vector, optState optim.State, iter int64) (*Engine, error) {
 	e, err := NewEngine(opts)
 	if err != nil {
 		return nil, err
 	}
-	if len(params) != opts.Spec.NumParams() {
-		return nil, fmt.Errorf("core: resume with %d params, model has %d", len(params), opts.Spec.NumParams())
+	if err := e.restoreState(params, optState, iter); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// ResumePlusEngine is ResumeEngine for the LowDiff+ strategy: workers and
+// the CPU-resident replica all continue from the recovered state, so both
+// the training trajectory and the replica's persist cadence match the
+// uninterrupted run.
+func ResumePlusEngine(opts PlusOptions, params tensor.Vector, optState optim.State, iter int64) (*PlusEngine, error) {
+	e, err := NewPlusEngine(opts)
+	if err != nil {
+		return nil, err
+	}
+	if err := e.restoreState(params, optState, iter); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// ResumePPEngine is ResumeEngine for the pipeline-parallel strategy: the
+// recovered global optimizer state is split into per-stage states
+// (splitOptState, the inverse of GlobalOptState's assembly).
+func ResumePPEngine(opts PPOptions, params tensor.Vector, optState optim.State, iter int64) (*PPEngine, error) {
+	e, err := NewPPEngine(opts)
+	if err != nil {
+		return nil, err
+	}
+	if err := e.restoreState(params, optState, iter); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+func (e *Engine) restoreState(params tensor.Vector, optState optim.State, iter int64) error {
+	if len(params) != e.opts.Spec.NumParams() {
+		return fmt.Errorf("core: resume with %d params, model has %d", len(params), e.opts.Spec.NumParams())
 	}
 	if iter < 0 {
-		return nil, fmt.Errorf("core: resume at negative iteration %d", iter)
+		return fmt.Errorf("core: resume at negative iteration %d", iter)
 	}
-	for w := range e.params {
-		copy(e.params[w].Flat, params)
-		o, err := optim.FromState(optState, len(params))
+	if e.opts.PP != nil {
+		copy(e.params[0].Flat, params)
+		parts, err := splitOptState(optState, e.stages)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		e.opts2[w] = o
+		for s := range e.opts2 {
+			o, err := optim.FromState(parts[s], e.stages[s].Size)
+			if err != nil {
+				return err
+			}
+			e.opts2[s] = o
+		}
+	} else {
+		for w := range e.params {
+			copy(e.params[w].Flat, params)
+			o, err := optim.FromState(optState, len(params))
+			if err != nil {
+				return err
+			}
+			e.opts2[w] = o
+		}
+	}
+	if e.rep != nil {
+		if err := e.rep.restore(params, optState, iter); err != nil {
+			return err
+		}
 	}
 	e.iter = iter
-	return e, nil
+	return nil
 }

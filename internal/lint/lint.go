@@ -97,6 +97,7 @@ func DefaultConfig() *Config {
 			"lowdiff/internal/cluster",
 			"lowdiff/internal/checkpoint",
 			"lowdiff/internal/obs",
+			"lowdiff/internal/core",
 		},
 		FloatEqAllowFuncs: []string{
 			"lowdiff/internal/tensor.Vector.Equal",

@@ -19,6 +19,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sort"
 	"sync"
 
 	"lowdiff/internal/tensor"
@@ -68,6 +69,28 @@ func (s State) clone() State {
 		out.Slots[k] = c
 	}
 	return out
+}
+
+// SlotNames returns the slot keys in sorted order, for deterministic
+// iteration over the per-parameter vectors (state assembly and splitting
+// must visit slots in a fixed order to stay byte-reproducible).
+func (s State) SlotNames() []string {
+	names := make([]string, 0, len(s.Slots))
+	for k := range s.Slots {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ScalarNames returns the scalar keys in sorted order.
+func (s State) ScalarNames() []string {
+	names := make([]string, 0, len(s.Scalars))
+	for k := range s.Scalars {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
 }
 
 // SlotBytes returns the total byte size of the per-parameter slots — the

@@ -13,6 +13,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"lowdiff/internal/experiments"
@@ -24,8 +25,12 @@ func main() {
 	exp := flag.String("exp", "", "comma-separated experiment IDs to run")
 	all := flag.Bool("all", false, "run every experiment")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	parallelism := flag.Int("parallelism", runtime.NumCPU(),
+		"data-plane pool workers for the functional experiments (1: serial; results are bit-identical either way)")
 	opsAddr := flag.String("ops-addr", "", "serve /metrics, /healthz, /snapshot, and pprof on this address while experiments run (empty: off)")
 	flag.Parse()
+
+	experiments.SetParallelism(*parallelism)
 
 	var reg *obs.Registry
 	if *opsAddr != "" {

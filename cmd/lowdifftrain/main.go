@@ -15,6 +15,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"lowdiff/internal/core"
 	"lowdiff/internal/model"
@@ -37,6 +38,8 @@ func main() {
 	crash := flag.Int("crash", 0, "simulate a crash after this many iterations (0: none)")
 	doRecover := flag.Bool("recover", false, "recover from -dir and print the state instead of training")
 	parallel := flag.Bool("parallel", true, "use parallel recovery")
+	parallelism := flag.Int("parallelism", runtime.NumCPU(),
+		"data-plane pool workers for compression, merge, and checkpoint encode (1: serial; bit-identical either way)")
 	plus := flag.Bool("plus", false, "run the LowDiff+ engine (no compression)")
 	seed := flag.Uint64("seed", 42, "deterministic seed")
 	traceOut := flag.String("trace", "", "write a Chrome trace of the run to this file")
@@ -111,7 +114,7 @@ func main() {
 	}
 
 	if *plus {
-		runPlus(scaled, store, *workers, *iters, *seed, *opsAddr, reg, events)
+		runPlus(scaled, store, *workers, *iters, *parallelism, *seed, *opsAddr, reg, events)
 		closeEvents()
 		return
 	}
@@ -122,7 +125,8 @@ func main() {
 	}
 	e, err := core.NewEngine(core.Options{
 		Spec: scaled, Workers: *workers, Optimizer: *optName, Rho: *rho,
-		Store: store, FullEvery: *fullEvery, BatchSize: *batch, Seed: *seed,
+		Store: store, FullEvery: *fullEvery, BatchSize: *batch,
+		Parallelism: *parallelism, Seed: *seed,
 		Trace: rec, Metrics: reg, Events: events,
 	})
 	if err != nil {
@@ -178,10 +182,11 @@ func main() {
 	}
 }
 
-func runPlus(spec model.Spec, store storage.Store, workers, iters int, seed uint64,
+func runPlus(spec model.Spec, store storage.Store, workers, iters, parallelism int, seed uint64,
 	opsAddr string, reg *obs.Registry, events *obs.EventLog) {
 	e, err := core.NewPlusEngine(core.PlusOptions{
-		Spec: spec, Workers: workers, Store: store, PersistEvery: 10, Seed: seed,
+		Spec: spec, Workers: workers, Store: store, PersistEvery: 10,
+		Parallelism: parallelism, Seed: seed,
 		Metrics: reg, Events: events,
 	})
 	if err != nil {

@@ -21,6 +21,7 @@ import (
 
 	"lowdiff/internal/compress"
 	"lowdiff/internal/optim"
+	"lowdiff/internal/parallel"
 	"lowdiff/internal/storage"
 	"lowdiff/internal/tensor"
 )
@@ -152,15 +153,22 @@ func writeString(w io.Writer, s string) error {
 	return err
 }
 
-func writeF32s(w io.Writer, v []float32) error {
+// writeF32s stages the float-to-byte conversion through a pooled scratch
+// buffer, sharding the conversion loop over pool. The emitted bytes are
+// identical at any worker count (each element converts independently).
+func writeF32s(w io.Writer, v []float32, pool *parallel.Pool) error {
 	if err := writeU64(w, uint64(len(v))); err != nil {
 		return err
 	}
-	buf := make([]byte, 4*len(v))
-	for i, x := range v {
-		binary.LittleEndian.PutUint32(buf[4*i:], math.Float32bits(x))
-	}
+	scratch := getScratch(4 * len(v))
+	buf := scratch.b
+	pool.ForEach(len(v), func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			binary.LittleEndian.PutUint32(buf[4*i:], math.Float32bits(v[i]))
+		}
+	})
 	_, err := w.Write(buf)
+	scratch.release()
 	return err
 }
 
@@ -222,7 +230,7 @@ func min64(a, b uint64) uint64 {
 	return b
 }
 
-func readF32s(r io.Reader) ([]float32, error) {
+func readF32s(r io.Reader, pool *parallel.Pool) ([]float32, error) {
 	n, err := readU64(r)
 	if err != nil {
 		return nil, err
@@ -235,14 +243,22 @@ func readF32s(r io.Reader) ([]float32, error) {
 		return nil, err
 	}
 	out := make([]float32, n)
-	for i := range out {
-		out[i] = math.Float32frombits(binary.LittleEndian.Uint32(buf[4*i:]))
-	}
+	pool.ForEach(len(out), func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = math.Float32frombits(binary.LittleEndian.Uint32(buf[4*i:]))
+		}
+	})
 	return out, nil
 }
 
-// EncodeFull writes a full checkpoint record.
+// Encode writes a full checkpoint record.
 func (f *Full) Encode(w io.Writer) error {
+	return f.EncodeWith(w, nil)
+}
+
+// EncodeWith is Encode with the float-to-byte conversion loops sharded over
+// pool; the record bytes (and CRC) are identical at any worker count.
+func (f *Full) EncodeWith(w io.Writer, pool *parallel.Pool) error {
 	cw := newCRCWriter(w)
 	if err := writeU32(cw, fullMagic); err != nil {
 		return fmt.Errorf("checkpoint: encode full: %w", err)
@@ -253,7 +269,7 @@ func (f *Full) Encode(w io.Writer) error {
 	if err := writeU64(cw, uint64(f.Iter)); err != nil {
 		return err
 	}
-	if err := writeF32s(cw, f.Params); err != nil {
+	if err := writeF32s(cw, f.Params, pool); err != nil {
 		return err
 	}
 	// Optimizer state.
@@ -291,7 +307,7 @@ func (f *Full) Encode(w io.Writer) error {
 		if err := writeString(cw, k); err != nil {
 			return err
 		}
-		if err := writeF32s(cw, f.Opt.Slots[k]); err != nil {
+		if err := writeF32s(cw, f.Opt.Slots[k], pool); err != nil {
 			return err
 		}
 	}
@@ -300,6 +316,12 @@ func (f *Full) Encode(w io.Writer) error {
 
 // DecodeFull reads a full checkpoint record and verifies its CRC.
 func DecodeFull(r io.Reader) (*Full, error) {
+	return DecodeFullWith(r, nil)
+}
+
+// DecodeFullWith is DecodeFull with the byte-to-float conversion loops
+// sharded over pool; the decoded state is identical at any worker count.
+func DecodeFullWith(r io.Reader, pool *parallel.Pool) (*Full, error) {
 	cr := newCRCReader(r)
 	magic, err := readU32(cr)
 	if err != nil {
@@ -319,7 +341,7 @@ func DecodeFull(r io.Reader) (*Full, error) {
 	if err != nil {
 		return nil, err
 	}
-	params, err := readF32s(cr)
+	params, err := readF32s(cr, pool)
 	if err != nil {
 		return nil, fmt.Errorf("checkpoint: decode params: %w", err)
 	}
@@ -363,7 +385,7 @@ func DecodeFull(r io.Reader) (*Full, error) {
 		if err != nil {
 			return nil, err
 		}
-		v, err := readF32s(cr)
+		v, err := readF32s(cr, pool)
 		if err != nil {
 			return nil, fmt.Errorf("checkpoint: decode slot %q: %w", k, err)
 		}
@@ -386,6 +408,12 @@ func DecodeFull(r io.Reader) (*Full, error) {
 
 // Encode writes a differential checkpoint record.
 func (d *Diff) Encode(w io.Writer) error {
+	return d.EncodeWith(w, nil)
+}
+
+// EncodeWith is Encode with the payload's conversion loops sharded over
+// pool; the record bytes (and CRC) are identical at any worker count.
+func (d *Diff) EncodeWith(w io.Writer, pool *parallel.Pool) error {
 	if err := d.Validate(); err != nil {
 		return err
 	}
@@ -408,7 +436,7 @@ func (d *Diff) Encode(w io.Writer) error {
 	if err := writeU32(cw, uint32(d.Count)); err != nil {
 		return err
 	}
-	if err := d.Payload.Encode(cw); err != nil {
+	if err := d.Payload.EncodeWith(cw, pool); err != nil {
 		return err
 	}
 	return writeU32(w, cw.h.Sum32())
@@ -416,6 +444,12 @@ func (d *Diff) Encode(w io.Writer) error {
 
 // DecodeDiff reads a differential checkpoint record and verifies its CRC.
 func DecodeDiff(r io.Reader) (*Diff, error) {
+	return DecodeDiffWith(r, nil)
+}
+
+// DecodeDiffWith is DecodeDiff with the payload's conversion loops sharded
+// over pool; the decoded record is identical at any worker count.
+func DecodeDiffWith(r io.Reader, pool *parallel.Pool) (*Diff, error) {
 	cr := newCRCReader(r)
 	magic, err := readU32(cr)
 	if err != nil {
@@ -447,7 +481,7 @@ func DecodeDiff(r io.Reader) (*Diff, error) {
 	if err != nil {
 		return nil, err
 	}
-	payload, err := compress.Decode(cr)
+	payload, err := compress.DecodeWith(cr, pool)
 	if err != nil {
 		return nil, err
 	}
@@ -475,12 +509,18 @@ func DecodeDiff(r io.Reader) (*Diff, error) {
 // SaveFull persists a full checkpoint to the store under its canonical name
 // and returns that name.
 func SaveFull(s storage.Store, f *Full) (string, error) {
+	return SaveFullWith(s, f, nil)
+}
+
+// SaveFullWith is SaveFull with encoding sharded over pool; the stored
+// bytes are identical at any worker count.
+func SaveFullWith(s storage.Store, f *Full, pool *parallel.Pool) (string, error) {
 	name := FullName(f.Iter)
 	w, err := s.Create(name)
 	if err != nil {
 		return "", err
 	}
-	if err := f.Encode(w); err != nil {
+	if err := f.EncodeWith(w, pool); err != nil {
 		_ = w.Close() // encode failed; surface that error, not the abort's
 		return "", err
 	}
@@ -489,23 +529,34 @@ func SaveFull(s storage.Store, f *Full) (string, error) {
 
 // LoadFull loads a full checkpoint by name.
 func LoadFull(s storage.Store, name string) (*Full, error) {
+	return LoadFullWith(s, name, nil)
+}
+
+// LoadFullWith is LoadFull with decoding sharded over pool.
+func LoadFullWith(s storage.Store, name string, pool *parallel.Pool) (*Full, error) {
 	r, err := s.Open(name)
 	if err != nil {
 		return nil, err
 	}
 	defer r.Close()
-	return DecodeFull(r)
+	return DecodeFullWith(r, pool)
 }
 
 // SaveDiff persists a differential checkpoint under its canonical name and
 // returns that name.
 func SaveDiff(s storage.Store, d *Diff) (string, error) {
+	return SaveDiffWith(s, d, nil)
+}
+
+// SaveDiffWith is SaveDiff with encoding sharded over pool; the stored
+// bytes are identical at any worker count.
+func SaveDiffWith(s storage.Store, d *Diff, pool *parallel.Pool) (string, error) {
 	name := DiffName(d.FirstIter, d.LastIter)
 	w, err := s.Create(name)
 	if err != nil {
 		return "", err
 	}
-	if err := d.Encode(w); err != nil {
+	if err := d.EncodeWith(w, pool); err != nil {
 		_ = w.Close() // encode failed; surface that error, not the abort's
 		return "", err
 	}
@@ -514,10 +565,15 @@ func SaveDiff(s storage.Store, d *Diff) (string, error) {
 
 // LoadDiff loads a differential checkpoint by name.
 func LoadDiff(s storage.Store, name string) (*Diff, error) {
+	return LoadDiffWith(s, name, nil)
+}
+
+// LoadDiffWith is LoadDiff with decoding sharded over pool.
+func LoadDiffWith(s storage.Store, name string, pool *parallel.Pool) (*Diff, error) {
 	r, err := s.Open(name)
 	if err != nil {
 		return nil, err
 	}
 	defer r.Close()
-	return DecodeDiff(r)
+	return DecodeDiffWith(r, pool)
 }

@@ -1,0 +1,86 @@
+package checkpoint
+
+import (
+	"bytes"
+	"runtime"
+	"testing"
+
+	"lowdiff/internal/compress"
+	"lowdiff/internal/optim"
+	"lowdiff/internal/parallel"
+	"lowdiff/internal/tensor"
+)
+
+// Pooled encode/decode must produce byte-identical records and bit-identical
+// state at every worker count.
+func TestPooledEncodeDecodeBitExact(t *testing.T) {
+	r := tensor.NewRNG(11)
+	params := tensor.New(5000)
+	r.FillUniform(params, -2, 2)
+	m := tensor.New(5000)
+	r.FillUniform(m, -1, 1)
+	f := &Full{
+		Iter:   42,
+		Params: params,
+		Opt: optim.State{
+			Name:    "adam",
+			Step:    42,
+			Scalars: map[string]float64{"lr": 0.01, "beta1": 0.9},
+			Slots:   map[string][]float32{"m": m, "v": append([]float32(nil), m...)},
+		},
+	}
+	g := tensor.New(5000)
+	r.FillUniform(g, -1, 1)
+	tk, _ := compress.NewTopK(0.02)
+	payload, err := tk.Compress(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := &Diff{Kind: KindGradient, FirstIter: 7, LastIter: 9, Count: 3, Payload: payload}
+
+	var wantFull, wantDiff bytes.Buffer
+	if err := f.Encode(&wantFull); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Encode(&wantDiff); err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 7, runtime.NumCPU()} {
+		pool, err := parallel.NewWithChunk(workers, 128)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var gotFull, gotDiff bytes.Buffer
+		if err := f.EncodeWith(&gotFull, pool); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(wantFull.Bytes(), gotFull.Bytes()) {
+			t.Fatalf("workers=%d: full record bytes differ", workers)
+		}
+		if err := d.EncodeWith(&gotDiff, pool); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(wantDiff.Bytes(), gotDiff.Bytes()) {
+			t.Fatalf("workers=%d: diff record bytes differ", workers)
+		}
+		df, err := DecodeFullWith(bytes.NewReader(gotFull.Bytes()), pool)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !df.Params.Equal(f.Params) || !tensor.Vector(df.Opt.Slots["m"]).Equal(m) {
+			t.Fatalf("workers=%d: decoded full state differs", workers)
+		}
+		dd, err := DecodeDiffWith(bytes.NewReader(gotDiff.Bytes()), pool)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dd.FirstIter != 7 || dd.LastIter != 9 || len(dd.Payload.Idx) != len(payload.Idx) {
+			t.Fatalf("workers=%d: decoded diff differs", workers)
+		}
+		for i := range payload.Idx {
+			if dd.Payload.Idx[i] != payload.Idx[i] || dd.Payload.Vals[i] != payload.Vals[i] {
+				t.Fatalf("workers=%d: decoded payload entry %d differs", workers, i)
+			}
+		}
+	}
+}

@@ -1,0 +1,23 @@
+package checkpoint
+
+import "sync"
+
+// scratch is the pooled byte buffer writeF32s stages conversions through,
+// replacing a per-vector allocation on every checkpoint write. A scratch
+// buffer never escapes the call that got it (the writer must not retain the
+// slice past Write, per the io.Writer contract).
+
+type scratchBuf struct{ b []byte }
+
+var scratchPool = sync.Pool{New: func() any { return new(scratchBuf) }}
+
+func getScratch(n int) *scratchBuf {
+	s := scratchPool.Get().(*scratchBuf)
+	if cap(s.b) < n {
+		s.b = make([]byte, n)
+	}
+	s.b = s.b[:n]
+	return s
+}
+
+func (s *scratchBuf) release() { scratchPool.Put(s) }

@@ -15,6 +15,7 @@ import (
 	"sync"
 
 	"lowdiff/internal/compress"
+	"lowdiff/internal/parallel"
 	"lowdiff/internal/tensor"
 )
 
@@ -25,6 +26,7 @@ import (
 // concurrently by the same rank.
 type Group struct {
 	n    int
+	pool *parallel.Pool
 	mu   sync.Mutex
 	cond *sync.Cond
 
@@ -39,10 +41,18 @@ type Group struct {
 
 // NewGroup returns a communicator for n ranks. n must be positive.
 func NewGroup(n int) (*Group, error) {
+	return NewGroupPooled(n, nil)
+}
+
+// NewGroupPooled returns a communicator whose dense reductions (segment
+// scatter-add, sparse union, post-merge scaling) are sharded over pool.
+// Results stay bit-identical to the serial group: within every segment,
+// ranks accumulate in rank order.
+func NewGroupPooled(n int, pool *parallel.Pool) (*Group, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("comm: group size %d must be positive", n)
 	}
-	g := &Group{n: n, slots: make([]interface{}, n), ring: make([]chan tensor.Vector, n)}
+	g := &Group{n: n, pool: pool, slots: make([]interface{}, n), ring: make([]chan tensor.Vector, n)}
 	g.cond = sync.NewCond(&g.mu)
 	for i := range g.ring {
 		g.ring[i] = make(chan tensor.Vector, 1)
@@ -107,12 +117,21 @@ func (g *Group) AllReduceSum(rank int, v tensor.Vector) error {
 				r, len(all[r].(tensor.Vector)), len(first))
 		}
 	}
+	// Segment scatter-add: each shard owns [lo, hi) of the sum and adds the
+	// ranks' segments in rank order, so the result is bit-identical to the
+	// serial rank-order accumulation at any worker count.
 	sum := tensor.New(len(first))
+	vecs := make([]tensor.Vector, g.n)
 	for r := 0; r < g.n; r++ {
-		if err := sum.Add(all[r].(tensor.Vector)); err != nil {
-			return err
-		}
+		vecs[r] = all[r].(tensor.Vector)
 	}
+	g.pool.ForEach(len(first), func(_, lo, hi int) {
+		for _, src := range vecs { // rank order
+			for i := lo; i < hi; i++ {
+				sum[i] += src[i]
+			}
+		}
+	})
 	// Every rank writes its own v only after computing the sum from the
 	// snapshot; a barrier keeps writers from racing readers of the inputs.
 	g.exchange(rank, nil)
@@ -198,16 +217,19 @@ func (g *Group) AllGatherSparse(rank int, c *compress.Compressed) (*compress.Com
 		}
 		parts[r] = p
 	}
-	merged, err := compress.Merge(parts...)
+	merged, err := compress.MergeWith(g.pool, parts...)
 	if err != nil {
 		return nil, err
 	}
 	// Average the sum so the synchronized gradient is the mean of worker
 	// gradients, matching the data-parallel convention.
 	inv := 1 / float32(g.n)
-	for i := range merged.Vals {
-		merged.Vals[i] *= inv
-	}
+	vals := merged.Vals
+	g.pool.ForEach(len(vals), func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			vals[i] *= inv
+		}
+	})
 	g.exchange(rank, nil) // release inputs only after all ranks merged
 	return merged, nil
 }

@@ -1,0 +1,105 @@
+package comm
+
+import (
+	"math"
+	"runtime"
+	"sync"
+	"testing"
+
+	"lowdiff/internal/compress"
+	"lowdiff/internal/parallel"
+	"lowdiff/internal/tensor"
+)
+
+// rankLoop drives fn on every rank of g concurrently and fails on error.
+func rankLoop(t *testing.T, g *Group, fn func(rank int) error) {
+	t.Helper()
+	var wg sync.WaitGroup
+	errs := make([]error, g.Size())
+	for r := 0; r < g.Size(); r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			errs[r] = fn(r)
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", r, err)
+		}
+	}
+}
+
+// A pooled group's collectives must be bit-identical to the serial group's.
+func TestPooledGroupBitExact(t *testing.T) {
+	const ranks, n = 4, 3000
+	mkVecs := func() []tensor.Vector {
+		out := make([]tensor.Vector, ranks)
+		for r := range out {
+			out[r] = tensor.New(n)
+			tensor.NewRNG(uint64(r+1)).FillUniform(out[r], -1, 1)
+		}
+		return out
+	}
+	serial, _ := NewGroup(ranks)
+	want := mkVecs()
+	rankLoop(t, serial, func(r int) error { return serial.AllReduceSum(r, want[r]) })
+
+	tk, _ := compress.NewTopK(0.05)
+	wantSparse := make([]*compress.Compressed, ranks)
+	rankLoop(t, serial, func(r int) error {
+		g := tensor.New(n)
+		tensor.NewRNG(uint64(100+r)).FillUniform(g, -1, 1)
+		c, err := tk.Compress(g)
+		if err != nil {
+			return err
+		}
+		m, err := serial.AllGatherSparse(r, c)
+		wantSparse[r] = m
+		return err
+	})
+
+	for _, workers := range []int{1, 2, 7, runtime.NumCPU()} {
+		pool, err := parallel.NewWithChunk(workers, 128)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pg, err := NewGroupPooled(ranks, pool)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := mkVecs()
+		rankLoop(t, pg, func(r int) error { return pg.AllReduceSum(r, got[r]) })
+		for r := 0; r < ranks; r++ {
+			for i := range got[r] {
+				if math.Float32bits(got[r][i]) != math.Float32bits(want[r][i]) {
+					t.Fatalf("workers=%d rank %d: allreduce bits differ at %d", workers, r, i)
+				}
+			}
+		}
+		gotSparse := make([]*compress.Compressed, ranks)
+		rankLoop(t, pg, func(r int) error {
+			g := tensor.New(n)
+			tensor.NewRNG(uint64(100+r)).FillUniform(g, -1, 1)
+			c, err := tk.Compress(g)
+			if err != nil {
+				return err
+			}
+			m, err := pg.AllGatherSparse(r, c)
+			gotSparse[r] = m
+			return err
+		})
+		for r := 0; r < ranks; r++ {
+			w, g := wantSparse[r], gotSparse[r]
+			if len(w.Idx) != len(g.Idx) {
+				t.Fatalf("workers=%d rank %d: sparse nnz differs", workers, r)
+			}
+			for i := range w.Idx {
+				if w.Idx[i] != g.Idx[i] || math.Float32bits(w.Vals[i]) != math.Float32bits(g.Vals[i]) {
+					t.Fatalf("workers=%d rank %d: sparse union differs at %d", workers, r, i)
+				}
+			}
+		}
+	}
+}

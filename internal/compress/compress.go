@@ -7,13 +7,43 @@
 // differential checkpoint stores, and what the batched writer accumulates.
 // Sparse accumulation (Merge) is the "gradient batching" primitive of
 // §4.2 — the union-sum of sparse gradients.
+//
+// Every hot loop in this package has a pool-aware variant (AddIntoWith,
+// DecompressWith, MergeWith, EncodeWith, DecodeWith, and the pooled
+// compressor constructors). Sharding follows the fixed-chunk-grid contract
+// of package parallel, so results are bit-identical to the serial reference
+// at any worker count. NaN gradient entries are out of contract for TopK:
+// they break the strict (|v| desc, index asc) total order the parallel
+// selection relies on.
 package compress
 
 import (
+	"errors"
 	"fmt"
+	"math"
 	"sort"
 
+	"lowdiff/internal/parallel"
 	"lowdiff/internal/tensor"
+)
+
+// Typed sentinel errors for payload shapes that would otherwise produce
+// silently corrupt unions. Callers match with errors.Is.
+var (
+	// ErrZeroScale marks an int8 payload claiming Scale == 0 while carrying
+	// nonzero quantized bytes: those bytes would silently decompress to an
+	// all-zero gradient.
+	ErrZeroScale = errors.New("compress: zero-scale quantized payload carries nonzero bytes")
+	// ErrMergeEmpty marks a merge of zero gradients.
+	ErrMergeEmpty = errors.New("compress: merge of zero gradients")
+	// ErrMergeLength marks a merge of payloads with mismatched dense length.
+	ErrMergeLength = errors.New("compress: merge dense-length mismatch")
+	// ErrMergeQuantized marks a merge involving a quantized payload, whose
+	// union-sum is undefined without dequantizing first.
+	ErrMergeQuantized = errors.New("compress: cannot merge quantized gradient")
+	// ErrMergeInvalid marks a merge input that fails Validate; the k-way
+	// union relies on the strictly-increasing index invariant.
+	ErrMergeInvalid = errors.New("compress: merge input invalid")
 )
 
 // Compressed is a compressed gradient. Exactly one payload family is
@@ -77,6 +107,13 @@ func (c *Compressed) Validate() error {
 		if len(c.Q) != c.N {
 			return fmt.Errorf("compress: quantized payload length %d != N %d", len(c.Q), c.N)
 		}
+		if c.Scale == 0 {
+			for i, q := range c.Q {
+				if q != 0 {
+					return fmt.Errorf("%w (first at byte %d)", ErrZeroScale, i)
+				}
+			}
+		}
 	case c.Idx != nil:
 		if len(c.Idx) != len(c.Vals) {
 			return fmt.Errorf("compress: idx length %d != vals length %d", len(c.Idx), len(c.Vals))
@@ -103,9 +140,65 @@ func (c *Compressed) Validate() error {
 // This is how the optimizer, the CPU replica, and recovery apply a
 // compressed gradient without materializing an intermediate vector.
 func (c *Compressed) AddInto(dense tensor.Vector) error {
+	return c.AddIntoWith(nil, dense)
+}
+
+// AddIntoWith is AddInto sharded over pool. The quantized and dense paths
+// are element-independent; the sparse path writes each dense[Idx[i]] from
+// exactly one shard because indices are strictly increasing (the parallel
+// path verifies that invariant before applying, so hand-built invalid
+// payloads fail with an error rather than racing). On error the contents
+// of dense are unspecified, as in the serial path. Results are
+// bit-identical to AddInto.
+func (c *Compressed) AddIntoWith(pool *parallel.Pool, dense tensor.Vector) error {
 	if len(dense) != c.N {
 		return fmt.Errorf("compress: AddInto length %d, want %d", len(dense), c.N)
 	}
+	if pool.Workers() == 1 {
+		return c.addIntoSerial(dense)
+	}
+	switch {
+	case len(c.Q) > 0:
+		pool.ForEach(len(c.Q), func(_, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				dense[i] += float32(int8(c.Q[i])) * c.Scale
+			}
+		})
+	case c.Idx != nil:
+		errs := make([]error, pool.NumChunks(len(c.Idx)))
+		pool.ForEach(len(c.Idx), func(s, lo, hi int) {
+			prev := int32(-1)
+			if lo > 0 {
+				prev = c.Idx[lo-1]
+			}
+			for i := lo; i < hi; i++ {
+				j := c.Idx[i]
+				if j <= prev || int(j) >= c.N {
+					errs[s] = fmt.Errorf("compress: AddInto index %d out of order or range [0,%d)", j, c.N)
+					return
+				}
+				prev = j
+			}
+			for i := lo; i < hi; i++ {
+				dense[c.Idx[i]] += c.Vals[i]
+			}
+		})
+		for _, err := range errs {
+			if err != nil {
+				return err
+			}
+		}
+	default:
+		pool.ForEach(len(c.Vals), func(_, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				dense[i] += c.Vals[i]
+			}
+		})
+	}
+	return nil
+}
+
+func (c *Compressed) addIntoSerial(dense tensor.Vector) error {
 	switch {
 	case len(c.Q) > 0:
 		for i, q := range c.Q {
@@ -128,11 +221,17 @@ func (c *Compressed) AddInto(dense tensor.Vector) error {
 
 // Decompress writes the dense gradient into out (length N), overwriting it.
 func (c *Compressed) Decompress(out tensor.Vector) error {
+	return c.DecompressWith(nil, out)
+}
+
+// DecompressWith is Decompress sharded over pool; bit-identical to the
+// serial path.
+func (c *Compressed) DecompressWith(pool *parallel.Pool, out tensor.Vector) error {
 	if len(out) != c.N {
 		return fmt.Errorf("compress: decompress into length %d, want %d", len(out), c.N)
 	}
 	out.Zero()
-	return c.AddInto(out)
+	return c.AddIntoWith(pool, out)
 }
 
 // Compressor turns a dense gradient into a Compressed payload.
@@ -146,19 +245,40 @@ type Compressor interface {
 	Ratio() float64
 }
 
+// ceilK returns k = ceil(ρ·n) clamped to [1, n] — the exact count both
+// sparsifiers document. (A previous revision used int(ρ·n + 0.999999),
+// which floors products with a fractional part below 1e-6 and so
+// under-counts right where ρ·n is meant to land on an exact boundary.)
+func ceilK(n int, rho float64) int {
+	k := int(math.Ceil(float64(n) * rho))
+	if k < 1 {
+		k = 1
+	}
+	if k > n {
+		k = n
+	}
+	return k
+}
+
 // TopK selects the k = ceil(ρ·N) entries of largest magnitude (the common
 // sparsification scheme; ties break toward the lower index so compression
 // is deterministic).
 type TopK struct {
-	R float64 // ratio ρ in (0, 1]
+	R    float64 // ratio ρ in (0, 1]
+	Pool *parallel.Pool
 }
 
-// NewTopK returns a Top-K compressor with ratio ρ.
+// NewTopK returns a serial Top-K compressor with ratio ρ.
 func NewTopK(rho float64) (*TopK, error) {
+	return NewTopKPooled(rho, nil)
+}
+
+// NewTopKPooled returns a Top-K compressor sharding selection over pool.
+func NewTopKPooled(rho float64, pool *parallel.Pool) (*TopK, error) {
 	if rho <= 0 || rho > 1 {
 		return nil, fmt.Errorf("compress: topk ratio %v out of (0,1]", rho)
 	}
-	return &TopK{R: rho}, nil
+	return &TopK{R: rho, Pool: pool}, nil
 }
 
 // Name implements Compressor.
@@ -170,109 +290,220 @@ func (t *TopK) Ratio() float64 { return t.R }
 // Compress implements Compressor.
 func (t *TopK) Compress(grad tensor.Vector) (*Compressed, error) {
 	n := len(grad)
-	k := int(float64(n)*t.R + 0.999999)
-	if k < 1 {
-		k = 1
-	}
-	if k > n {
-		k = n
-	}
-	idx := topKIndices(grad, k)
+	k := ceilK(n, t.R)
+	idx := t.selectIndices(grad, k)
 	vals := make([]float32, len(idx))
-	for i, j := range idx {
-		vals[i] = grad[j]
-	}
+	t.Pool.ForEach(len(idx), func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			vals[i] = grad[idx[i]]
+		}
+	})
 	return &Compressed{Codec: "topk", N: n, Idx: idx, Vals: vals}, nil
 }
 
-// topKIndices returns the indices of the k largest-magnitude entries in
-// increasing index order. Ties break toward the lower index.
-func topKIndices(g tensor.Vector, k int) []int32 {
-	n := len(g)
-	if k >= n {
-		idx := make([]int32, n)
-		for i := range idx {
-			idx[i] = int32(i)
-		}
-		return idx
+// selectIndices picks the top-k set. The parallel path selects per-chunk
+// candidates and reselects globally: under the strict (|v| desc, index asc)
+// total order, the global top-k members inside any chunk are necessarily
+// among that chunk's local top-k, so the candidate union contains the exact
+// serial answer. It is used only when the candidate list stays well below
+// n, otherwise sharding is pure overhead.
+func (t *TopK) selectIndices(grad tensor.Vector, k int) []int32 {
+	n := len(grad)
+	pool := t.Pool
+	chunks := pool.NumChunks(n)
+	if pool.Workers() == 1 || chunks <= 1 || 2*k*chunks >= n {
+		return topKRange(grad, 0, n, k)
 	}
-	// Min-heap of size k keyed by (|v|, -index): the root is the weakest
-	// element currently kept; a new element replaces it when strictly
-	// stronger under the (magnitude, lower-index-wins) order.
-	heap := make([]int32, 0, k)
-	abs := func(i int32) float32 {
-		v := g[i]
-		if v < 0 {
-			return -v
+	// Each chunk writes its candidates into its own disjoint segment of one
+	// shared scratch buffer; compaction then packs them in ascending shard
+	// order.
+	scratch := getI32(k * chunks)
+	cand := scratch.v
+	counts := make([]int, chunks)
+	pool.ForEach(n, func(s, lo, hi int) {
+		kk := k
+		if kk > hi-lo {
+			kk = hi - lo
 		}
-		return v
+		counts[s] = kk
+		topKUnsortedInto(grad, lo, hi, cand[s*k:s*k+kk])
+	})
+	w := counts[0]
+	for s := 1; s < chunks; s++ {
+		copy(cand[w:], cand[s*k:s*k+counts[s]])
+		w += counts[s]
 	}
-	// less reports whether a is weaker than b (kept-set comparison).
-	less := func(a, b int32) bool {
-		av, bv := abs(a), abs(b)
-		if av != bv { //lint:allow floateq exact tie-break: equal magnitudes must fall through to the index rule for deterministic top-k
+	// Reselect under the same total order; strictness (unique indices)
+	// makes the selected set independent of candidate order.
+	out := topKOf(grad, cand[:w], k)
+	scratch.release()
+	return out
+}
 
-			return av < bv
-		}
-		return a > b // higher index is weaker on ties
+// Selection runs on packed strength keys: |v|'s float bits in the high
+// word and the bitwise complement of the index in the low word, so one
+// uint64 compare is exactly the (|v| desc, lower-index-wins) total order.
+// IEEE-754 bit patterns of non-negative floats order the same as their
+// values, which is what lets the magnitude ride in the high bits. Keys are
+// unique (the index bits differ), so the selected SET is independent of
+// the pivot sequence — quickselect stays deterministic by construction.
+
+// strengthKey packs g's entry at index j into its selection key.
+func strengthKey(v float32, j int32) uint64 {
+	abs := uint64(math.Float32bits(v) &^ (1 << 31)) // clear the sign: |v| bits
+	return abs<<32 | uint64(^uint32(j))
+}
+
+// keyIndex recovers the dense index from a strength key.
+func keyIndex(key uint64) int32 { return int32(^uint32(key)) }
+
+// topKRange returns the indices of the k largest-magnitude entries of
+// g[lo:hi] as global indices in increasing order. Ties break toward the
+// lower index.
+func topKRange(g tensor.Vector, lo, hi, k int) []int32 {
+	out := topKUnsorted(g, lo, hi, k)
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
+}
+
+// topKUnsorted is topKRange without the final ascending sort — the selected
+// set in unspecified order.
+func topKUnsorted(g tensor.Vector, lo, hi, k int) []int32 {
+	span := hi - lo
+	if k > span {
+		k = span
 	}
-	down := func(i int) {
-		for {
-			l, r := 2*i+1, 2*i+2
-			m := i
-			if l < len(heap) && less(heap[l], heap[m]) {
-				m = l
-			}
-			if r < len(heap) && less(heap[r], heap[m]) {
-				m = r
-			}
-			if m == i {
-				return
-			}
-			heap[i], heap[m] = heap[m], heap[i]
-			i = m
+	out := make([]int32, k)
+	topKUnsortedInto(g, lo, hi, out)
+	return out
+}
+
+// topKUnsortedInto writes the len(out) strongest indices of g[lo:hi] into
+// out in unspecified order — the per-chunk candidate pass, where each chunk
+// owns a disjoint segment of a shared scratch buffer. len(out) must be at
+// most hi-lo.
+func topKUnsortedInto(g tensor.Vector, lo, hi int, out []int32) {
+	span, k := hi-lo, len(out)
+	if k >= span {
+		for i := range out {
+			out[i] = int32(lo + i)
+		}
+		return
+	}
+	ks := getU64(span)
+	keys := ks.v
+	for i := 0; i < span; i++ {
+		j := lo + i
+		keys[i] = strengthKey(g[j], int32(j))
+	}
+	quickSelectKeys(keys, k)
+	for i := range out {
+		out[i] = keyIndex(keys[i])
+	}
+	ks.release()
+}
+
+// topKOf returns the indices of the k strongest entries among cand (global
+// indices into g, assumed unique) in increasing index order, under the same
+// total order as topKRange — the reselect step of the sharded selection.
+func topKOf(g tensor.Vector, cand []int32, k int) []int32 {
+	if k >= len(cand) {
+		out := make([]int32, len(cand))
+		copy(out, cand)
+		sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+		return out
+	}
+	ks := getU64(len(cand))
+	keys := ks.v
+	for i, j := range cand {
+		keys[i] = strengthKey(g[j], j)
+	}
+	quickSelectKeys(keys, k)
+	out := make([]int32, k)
+	for i := range out {
+		out[i] = keyIndex(keys[i])
+	}
+	ks.release()
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
+}
+
+// quickSelectKeys partitions keys so keys[:k] holds the k largest, in
+// unspecified order. Average O(len(keys)) with a median-of-three pivot;
+// keys are unique, so every pivot sequence converges on the same set.
+func quickSelectKeys(keys []uint64, k int) {
+	lo, hi := 0, len(keys)-1
+	for lo < hi {
+		p := partitionKeys(keys, lo, hi)
+		switch {
+		case p == k-1 || p == k:
+			// keys[:k] are all >= keys[p] and everything after p is
+			// smaller: the top-k set is settled.
+			return
+		case p < k-1:
+			lo = p + 1
+		default:
+			hi = p - 1
 		}
 	}
-	up := func(i int) {
-		for i > 0 {
-			p := (i - 1) / 2
-			if !less(heap[i], heap[p]) {
-				return
-			}
-			heap[i], heap[p] = heap[p], heap[i]
-			i = p
+}
+
+// partitionKeys partitions keys[lo:hi+1] descending around a median-of-three
+// pivot and returns the pivot's final position: everything before it is
+// strictly larger, everything after strictly smaller.
+func partitionKeys(keys []uint64, lo, hi int) int {
+	mid := lo + (hi-lo)/2
+	if keys[mid] > keys[lo] {
+		keys[mid], keys[lo] = keys[lo], keys[mid]
+	}
+	if keys[hi] > keys[lo] {
+		keys[hi], keys[lo] = keys[lo], keys[hi]
+	}
+	if keys[hi] > keys[mid] {
+		keys[hi], keys[mid] = keys[mid], keys[hi]
+	}
+	// keys[lo] >= keys[mid] >= keys[hi]; park the median at hi as pivot.
+	keys[mid], keys[hi] = keys[hi], keys[mid]
+	pivot := keys[hi]
+	i := lo
+	for j := lo; j < hi; j++ {
+		if keys[j] > pivot {
+			keys[i], keys[j] = keys[j], keys[i]
+			i++
 		}
 	}
-	for i := 0; i < n; i++ {
-		j := int32(i)
-		if len(heap) < k {
-			heap = append(heap, j)
-			up(len(heap) - 1)
-			continue
-		}
-		if less(heap[0], j) {
-			heap[0] = j
-			down(0)
-		}
-	}
-	sort.Slice(heap, func(a, b int) bool { return heap[a] < heap[b] })
-	return heap
+	keys[i], keys[hi] = keys[hi], keys[i]
+	return i
 }
 
 // RandK selects k = ceil(ρ·N) pseudo-random indices per call from a seeded
-// stream, so compression is deterministic given the construction seed and
-// call order.
+// stream via a partial Fisher–Yates shuffle over a pooled dense-stride
+// buffer: exactly k generator draws per call, O(n + k) work, no per-call
+// map. Determinism contract: the same construction seed and the same
+// sequence of Compress calls (gradient lengths) yield the same indices —
+// each call of length n consumes exactly k draws, independent of the
+// gradient values. Compress is not safe for concurrent use (the generator
+// stream is inherently serial).
 type RandK struct {
-	R   float64
-	rng *tensor.RNG
+	R    float64
+	Pool *parallel.Pool
+	rng  *tensor.RNG
 }
 
-// NewRandK returns a random-K compressor with ratio ρ and the given seed.
+// NewRandK returns a serial random-K compressor with ratio ρ and the given
+// seed.
 func NewRandK(rho float64, seed uint64) (*RandK, error) {
+	return NewRandKPooled(rho, seed, nil)
+}
+
+// NewRandKPooled returns a random-K compressor sharding the dense scans
+// (buffer reset, value gather) over pool; the draw sequence itself stays
+// serial so the seeded-stream contract holds at any worker count.
+func NewRandKPooled(rho float64, seed uint64, pool *parallel.Pool) (*RandK, error) {
 	if rho <= 0 || rho > 1 {
 		return nil, fmt.Errorf("compress: randk ratio %v out of (0,1]", rho)
 	}
-	return &RandK{R: rho, rng: tensor.NewRNG(seed)}, nil
+	return &RandK{R: rho, Pool: pool, rng: tensor.NewRNG(seed)}, nil
 }
 
 // Name implements Compressor.
@@ -284,32 +515,35 @@ func (r *RandK) Ratio() float64 { return r.R }
 // Compress implements Compressor.
 func (r *RandK) Compress(grad tensor.Vector) (*Compressed, error) {
 	n := len(grad)
-	k := int(float64(n)*r.R + 0.999999)
-	if k < 1 {
-		k = 1
-	}
-	if k > n {
-		k = n
-	}
-	seen := make(map[int32]bool, k)
-	idx := make([]int32, 0, k)
-	for len(idx) < k {
-		j := int32(r.rng.Intn(n))
-		if !seen[j] {
-			seen[j] = true
-			idx = append(idx, j)
+	k := ceilK(n, r.R)
+	scratch := getI32(n)
+	perm := scratch.v
+	r.Pool.ForEach(n, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			perm[i] = int32(i)
 		}
+	})
+	// Partial Fisher–Yates: after i swaps, perm[:i] is a uniform i-subset.
+	for i := 0; i < k; i++ {
+		j := i + r.rng.Intn(n-i)
+		perm[i], perm[j] = perm[j], perm[i]
 	}
+	idx := append([]int32(nil), perm[:k]...)
+	scratch.release()
 	sort.Slice(idx, func(a, b int) bool { return idx[a] < idx[b] })
 	vals := make([]float32, k)
-	for i, j := range idx {
-		vals[i] = grad[j]
-	}
+	r.Pool.ForEach(k, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			vals[i] = grad[idx[i]]
+		}
+	})
 	return &Compressed{Codec: "randk", N: n, Idx: idx, Vals: vals}, nil
 }
 
 // Int8 quantizes each element to 8 bits with a per-tensor absmax scale.
-type Int8 struct{}
+type Int8 struct {
+	Pool *parallel.Pool
+}
 
 // Name implements Compressor.
 func (Int8) Name() string { return "int8" }
@@ -318,29 +552,47 @@ func (Int8) Name() string { return "int8" }
 func (Int8) Ratio() float64 { return 1 }
 
 // Compress implements Compressor.
-func (Int8) Compress(grad tensor.Vector) (*Compressed, error) {
+func (q8 Int8) Compress(grad tensor.Vector) (*Compressed, error) {
 	n := len(grad)
 	q := make([]byte, n)
-	mx := grad.AbsMax()
+	pool := q8.Pool
+	var mx float32
+	if pool.Workers() > 1 && pool.NumChunks(n) > 1 {
+		// Per-shard absmax, combined in ascending shard order. Max is
+		// insensitive to grouping, so this is exactly grad.AbsMax().
+		maxes := make([]float32, pool.NumChunks(n))
+		pool.ForEach(n, func(s, lo, hi int) {
+			maxes[s] = grad[lo:hi].AbsMax()
+		})
+		for _, m := range maxes {
+			if m > mx {
+				mx = m
+			}
+		}
+	} else {
+		mx = grad.AbsMax()
+	}
 	if mx == 0 {
 		return &Compressed{Codec: "int8", N: n, Q: q, Scale: 0}, nil
 	}
 	scale := mx / 127
 	inv := 1 / scale
-	for i, v := range grad {
-		x := v * inv
-		switch {
-		case x > 127:
-			x = 127
-		case x < -127:
-			x = -127
+	pool.ForEach(n, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			x := grad[i] * inv
+			switch {
+			case x > 127:
+				x = 127
+			case x < -127:
+				x = -127
+			}
+			if x >= 0 {
+				q[i] = byte(int8(x + 0.5))
+			} else {
+				q[i] = byte(int8(x - 0.5))
+			}
 		}
-		if x >= 0 {
-			q[i] = byte(int8(x + 0.5))
-		} else {
-			q[i] = byte(int8(x - 0.5))
-		}
-	}
+	})
 	return &Compressed{Codec: "int8", N: n, Q: q, Scale: scale}, nil
 }
 
@@ -358,16 +610,23 @@ func (Identity) Compress(grad tensor.Vector) (*Compressed, error) {
 	return &Compressed{Codec: "identity", N: len(grad), Vals: append([]float32(nil), grad...)}, nil
 }
 
-// New constructs a compressor by name. rho is ignored by non-sparsifying
-// codecs; seed is used only by randk.
+// New constructs a serial compressor by name. rho is ignored by
+// non-sparsifying codecs; seed is used only by randk.
 func New(name string, rho float64, seed uint64) (Compressor, error) {
+	return NewPooled(name, rho, seed, nil)
+}
+
+// NewPooled constructs a compressor by name with its dense loops sharded
+// over pool (nil pool means serial). Compression output is bit-identical
+// at any worker count.
+func NewPooled(name string, rho float64, seed uint64, pool *parallel.Pool) (Compressor, error) {
 	switch name {
 	case "topk":
-		return NewTopK(rho)
+		return NewTopKPooled(rho, pool)
 	case "randk":
-		return NewRandK(rho, seed)
+		return NewRandKPooled(rho, seed, pool)
 	case "int8":
-		return Int8{}, nil
+		return Int8{Pool: pool}, nil
 	case "identity", "none", "":
 		return Identity{}, nil
 	default:
@@ -377,21 +636,34 @@ func New(name string, rho float64, seed uint64) (Compressor, error) {
 
 // Merge returns the union-sum of sparse compressed gradients: the batching
 // primitive behind §4.2's batched gradient writes and the paper's gradient
-// accumulation. All inputs must be sparse (or identity) with the same N.
-// Merging is associative and commutative, which is what makes the parallel
-// log-n recovery tree valid.
+// accumulation. All inputs must be valid and sparse (or identity) with the
+// same N; quantized, mismatched, or invalid inputs fail with typed errors
+// rather than producing a corrupt union. Merging is associative and
+// commutative, which is what makes the parallel log-n recovery tree valid.
 func Merge(parts ...*Compressed) (*Compressed, error) {
+	return MergeWith(nil, parts...)
+}
+
+// MergeWith is Merge sharded over pool. Sparse parts are combined with a
+// k-way walk over their sorted index lists (per index, values add in part
+// order — exactly the serial reference); the parallel path shards the dense
+// index space and concatenates per-chunk unions in ascending chunk order,
+// so the result is bit-identical at any worker count.
+func MergeWith(pool *parallel.Pool, parts ...*Compressed) (*Compressed, error) {
 	if len(parts) == 0 {
-		return nil, fmt.Errorf("compress: merge of zero gradients")
+		return nil, ErrMergeEmpty
 	}
 	n := parts[0].N
 	dense := false
-	for _, p := range parts {
+	for pi, p := range parts {
 		if p.N != n {
-			return nil, fmt.Errorf("compress: merge length mismatch: %d vs %d", p.N, n)
+			return nil, fmt.Errorf("%w: part %d has N=%d, want %d", ErrMergeLength, pi, p.N, n)
 		}
 		if len(p.Q) > 0 {
-			return nil, fmt.Errorf("compress: cannot merge quantized gradient; dequantize first")
+			return nil, fmt.Errorf("%w (part %d, codec %q); dequantize first", ErrMergeQuantized, pi, p.Codec)
+		}
+		if err := p.Validate(); err != nil {
+			return nil, fmt.Errorf("%w: part %d (codec %q): %v", ErrMergeInvalid, pi, p.Codec, err)
 		}
 		if p.Idx == nil {
 			dense = true
@@ -402,26 +674,76 @@ func Merge(parts ...*Compressed) (*Compressed, error) {
 		out := make([]float32, n)
 		v := tensor.Vector(out)
 		for _, p := range parts {
-			if err := p.AddInto(v); err != nil {
+			if err := p.AddIntoWith(pool, v); err != nil {
 				return nil, err
 			}
 		}
 		return &Compressed{Codec: "merged", N: n, Vals: out}, nil
 	}
-	sum := make(map[int32]float32)
+	bound := 0
 	for _, p := range parts {
-		for i, j := range p.Idx {
-			sum[j] += p.Vals[i]
-		}
+		bound += len(p.Idx)
 	}
-	idx := make([]int32, 0, len(sum))
-	for j := range sum {
-		idx = append(idx, j)
+	if bound > n {
+		bound = n
 	}
-	sort.Slice(idx, func(a, b int) bool { return idx[a] < idx[b] })
-	vals := make([]float32, len(idx))
-	for i, j := range idx {
-		vals[i] = sum[j]
+	chunks := pool.NumChunks(n)
+	if pool.Workers() == 1 || chunks <= 1 {
+		idx := make([]int32, 0, bound)
+		vals := make([]float32, 0, bound)
+		idx, vals = kwayMergeRange(parts, 0, int32(n), idx, vals)
+		return &Compressed{Codec: "merged", N: n, Idx: idx, Vals: vals}, nil
+	}
+	type shardOut struct {
+		idx  []int32
+		vals []float32
+	}
+	outs := make([]shardOut, chunks)
+	pool.ForEach(n, func(s, lo, hi int) {
+		i, v := kwayMergeRange(parts, int32(lo), int32(hi), nil, nil)
+		outs[s] = shardOut{idx: i, vals: v}
+	})
+	total := 0
+	for _, o := range outs {
+		total += len(o.idx)
+	}
+	idx := make([]int32, 0, total)
+	vals := make([]float32, 0, total)
+	for _, o := range outs { // ascending chunk order = ascending index order
+		idx = append(idx, o.idx...)
+		vals = append(vals, o.vals...)
 	}
 	return &Compressed{Codec: "merged", N: n, Idx: idx, Vals: vals}, nil
+}
+
+// kwayMergeRange appends the union-sum of the parts restricted to dense
+// indices [lo, hi) onto idx/vals. Parts must be sparse with strictly
+// increasing indices. For each output index the contributions are added in
+// part order, matching the serial single-pass reference bit for bit.
+func kwayMergeRange(parts []*Compressed, lo, hi int32, idx []int32, vals []float32) ([]int32, []float32) {
+	pos := make([]int, len(parts))
+	for pi, p := range parts {
+		ix := p.Idx
+		pos[pi] = sort.Search(len(ix), func(i int) bool { return ix[i] >= lo })
+	}
+	for {
+		best := hi
+		for pi, p := range parts {
+			if pos[pi] < len(p.Idx) && p.Idx[pos[pi]] < best {
+				best = p.Idx[pos[pi]]
+			}
+		}
+		if best >= hi {
+			return idx, vals
+		}
+		var sum float32
+		for pi, p := range parts {
+			if pos[pi] < len(p.Idx) && p.Idx[pos[pi]] == best {
+				sum += p.Vals[pos[pi]]
+				pos[pi]++
+			}
+		}
+		idx = append(idx, best)
+		vals = append(vals, sum)
+	}
 }

@@ -1,0 +1,62 @@
+package compress
+
+import "sync"
+
+// Scratch pools for the per-iteration slices the hot path would otherwise
+// allocate on every call: wire-encode byte staging, RandK's dense-stride
+// sample buffer, Top-K's per-shard candidate lists, and the packed
+// strength-key buffers its quickselect runs over.
+//
+// Ownership rule (see DESIGN.md §8): a pooled buffer never escapes the call
+// that got it. Anything stored in a Compressed — which may be handed to the
+// reusing queue, the batched writer, or a checkpoint — is freshly
+// allocated; scratch is released before the function returns.
+
+type byteScratch struct{ b []byte }
+
+var bytePool = sync.Pool{New: func() any { return new(byteScratch) }}
+
+// getBytes returns a pooled byte slice of length n.
+func getBytes(n int) *byteScratch {
+	s := bytePool.Get().(*byteScratch)
+	if cap(s.b) < n {
+		s.b = make([]byte, n)
+	}
+	s.b = s.b[:n]
+	return s
+}
+
+func (s *byteScratch) release() { bytePool.Put(s) }
+
+type i32Scratch struct{ v []int32 }
+
+var i32Pool = sync.Pool{New: func() any { return new(i32Scratch) }}
+
+// getI32 returns a pooled int32 slice of length n.
+func getI32(n int) *i32Scratch {
+	s := i32Pool.Get().(*i32Scratch)
+	if cap(s.v) < n {
+		s.v = make([]int32, n)
+	}
+	s.v = s.v[:n]
+	return s
+}
+
+func (s *i32Scratch) release() { i32Pool.Put(s) }
+
+type u64Scratch struct{ v []uint64 }
+
+var u64Pool = sync.Pool{New: func() any { return new(u64Scratch) }}
+
+// getU64 returns a pooled uint64 slice of length n — the strength-key
+// buffer for Top-K quickselect.
+func getU64(n int) *u64Scratch {
+	s := u64Pool.Get().(*u64Scratch)
+	if cap(s.v) < n {
+		s.v = make([]uint64, n)
+	}
+	s.v = s.v[:n]
+	return s
+}
+
+func (s *u64Scratch) release() { u64Pool.Put(s) }

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"io"
 	"math"
+
+	"lowdiff/internal/parallel"
 )
 
 // Wire format (little endian):
@@ -61,6 +63,15 @@ func (c *Compressed) EncodedBytes() int64 {
 
 // Encode writes the compressed gradient to w in the LDCG wire format.
 func (c *Compressed) Encode(w io.Writer) error {
+	return c.EncodeWith(w, nil)
+}
+
+// EncodeWith is Encode with the element-to-byte conversion loops sharded
+// over pool and staged through pooled scratch buffers instead of per-call
+// allocations. The emitted bytes are identical to Encode's at any worker
+// count. w must not retain the slice passed to Write beyond the call (the
+// usual io.Writer contract) — the staging buffer is reused.
+func (c *Compressed) EncodeWith(w io.Writer, pool *parallel.Pool) error {
 	if len(c.Codec) > 255 {
 		return fmt.Errorf("compress: codec name too long: %d", len(c.Codec))
 	}
@@ -78,20 +89,30 @@ func (c *Compressed) Encode(w io.Writer) error {
 		return fmt.Errorf("compress: encode header: %w", err)
 	}
 	if len(c.Idx) > 0 {
-		buf := make([]byte, 4*len(c.Idx))
-		for i, j := range c.Idx {
-			binary.LittleEndian.PutUint32(buf[4*i:], uint32(j))
-		}
-		if _, err := w.Write(buf); err != nil {
+		scratch := getBytes(4 * len(c.Idx))
+		buf := scratch.b
+		pool.ForEach(len(c.Idx), func(_, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				binary.LittleEndian.PutUint32(buf[4*i:], uint32(c.Idx[i]))
+			}
+		})
+		_, err := w.Write(buf)
+		scratch.release()
+		if err != nil {
 			return fmt.Errorf("compress: encode idx: %w", err)
 		}
 	}
 	if len(c.Vals) > 0 {
-		buf := make([]byte, 4*len(c.Vals))
-		for i, v := range c.Vals {
-			binary.LittleEndian.PutUint32(buf[4*i:], math.Float32bits(v))
-		}
-		if _, err := w.Write(buf); err != nil {
+		scratch := getBytes(4 * len(c.Vals))
+		buf := scratch.b
+		pool.ForEach(len(c.Vals), func(_, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				binary.LittleEndian.PutUint32(buf[4*i:], math.Float32bits(c.Vals[i]))
+			}
+		})
+		_, err := w.Write(buf)
+		scratch.release()
+		if err != nil {
 			return fmt.Errorf("compress: encode vals: %w", err)
 		}
 	}
@@ -105,6 +126,14 @@ func (c *Compressed) Encode(w io.Writer) error {
 
 // Decode reads exactly one compressed gradient in the LDCG wire format.
 func Decode(r io.Reader) (*Compressed, error) {
+	return DecodeWith(r, nil)
+}
+
+// DecodeWith is Decode with the byte-to-element conversion loops sharded
+// over pool; the decoded gradient is identical at any worker count. The
+// result's slices are freshly allocated (never pooled): a decoded gradient
+// may outlive the call arbitrarily.
+func DecodeWith(r io.Reader, pool *parallel.Pool) (*Compressed, error) {
 	var fixed [7]byte // magic + version + name length
 	if _, err := io.ReadFull(r, fixed[:]); err != nil {
 		return nil, fmt.Errorf("compress: decode header: %w", err)
@@ -138,20 +167,26 @@ func Decode(r io.Reader) (*Compressed, error) {
 		if err != nil {
 			return nil, fmt.Errorf("compress: decode idx: %w", err)
 		}
-		c.Idx = make([]int32, nidx)
-		for i := range c.Idx {
-			c.Idx[i] = int32(binary.LittleEndian.Uint32(buf[4*i:]))
-		}
+		idx := make([]int32, nidx)
+		pool.ForEach(len(idx), func(_, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				idx[i] = int32(binary.LittleEndian.Uint32(buf[4*i:]))
+			}
+		})
+		c.Idx = idx
 	}
 	if nvals > 0 {
 		buf, err := readChunked(r, 4*nvals)
 		if err != nil {
 			return nil, fmt.Errorf("compress: decode vals: %w", err)
 		}
-		c.Vals = make([]float32, nvals)
-		for i := range c.Vals {
-			c.Vals[i] = math.Float32frombits(binary.LittleEndian.Uint32(buf[4*i:]))
-		}
+		vals := make([]float32, nvals)
+		pool.ForEach(len(vals), func(_, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				vals[i] = math.Float32frombits(binary.LittleEndian.Uint32(buf[4*i:]))
+			}
+		})
+		c.Vals = vals
 	}
 	if nq > 0 {
 		q, err := readChunked(r, nq)

@@ -7,6 +7,7 @@ import (
 	"lowdiff/internal/compress"
 	"lowdiff/internal/metrics"
 	"lowdiff/internal/obs"
+	"lowdiff/internal/parallel"
 	"lowdiff/internal/storage"
 )
 
@@ -39,6 +40,11 @@ type BatchedWriter struct {
 	// Events, when non-nil, receives a ckpt.diff.persist event for every
 	// flushed batch. Set it before the first Add.
 	Events *obs.EventLog
+
+	// Pool, when non-nil, shards the batch merge and record encode across
+	// its workers; the flushed bytes are identical to the serial writer's.
+	// Set it before the first Add.
+	Pool *parallel.Pool
 
 	// Writes counts store writes, Batches full-size flushes, Bytes the
 	// payload bytes persisted; PendingBytes gauges CPU-buffer occupancy
@@ -109,7 +115,7 @@ func (w *BatchedWriter) Drop() {
 }
 
 func (w *BatchedWriter) flush() error {
-	merged, err := compress.Merge(w.pending...)
+	merged, err := compress.MergeWith(w.Pool, w.pending...)
 	if err != nil {
 		return fmt.Errorf("core: batch merge: %w", err)
 	}
@@ -121,7 +127,7 @@ func (w *BatchedWriter) flush() error {
 		Payload:   merged,
 	}
 	persist := func() error {
-		_, err := checkpoint.SaveDiff(w.store, d)
+		_, err := checkpoint.SaveDiffWith(w.store, d, w.Pool)
 		return err
 	}
 	if w.Retry != nil {

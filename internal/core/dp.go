@@ -40,7 +40,7 @@ func (e *Engine) initDP() error {
 	if opts.Codec == "randk" && opts.Workers > 1 {
 		return fmt.Errorf("core: randk selects different indices per worker; use topk or identity for multi-worker runs")
 	}
-	group, err := comm.NewGroup(opts.Workers)
+	group, err := comm.NewGroupPooled(opts.Workers, e.pool)
 	if err != nil {
 		return err
 	}
@@ -55,7 +55,7 @@ func (e *Engine) initDP() error {
 			return err
 		}
 		e.opts2 = append(e.opts2, o)
-		c, err := compress.New(opts.Codec, opts.Rho, opts.Seed+uint64(w))
+		c, err := compress.NewPooled(opts.Codec, opts.Rho, opts.Seed+uint64(w), e.pool)
 		if err != nil {
 			return err
 		}
@@ -171,7 +171,7 @@ func (r *dpRank) step(rc *runCtx, t int64) error {
 		}
 	}
 	// Decompress + update (StepSparse fuses the two).
-	if err := applyCompressed(r.o, r.p.Flat, synced); err != nil {
+	if err := applyCompressed(r.o, r.p.Flat, synced, e.pool); err != nil {
 		return err
 	}
 	// Naïve DC: compute and compress the state delta — this is

@@ -14,6 +14,7 @@ import (
 	"lowdiff/internal/model"
 	"lowdiff/internal/obs"
 	"lowdiff/internal/optim"
+	"lowdiff/internal/parallel"
 	"lowdiff/internal/storage"
 	"lowdiff/internal/tensor"
 	"lowdiff/internal/trace"
@@ -80,6 +81,14 @@ type Options struct {
 	// continues. Nil preserves fail-fast semantics: the first storage
 	// error aborts Run.
 	FaultTolerance *FaultToleranceOptions
+
+	// Parallelism shards the dense data-plane hot loops — compression,
+	// sparse merge, decompress/scatter-add, and checkpoint encode/decode —
+	// across that many pool workers. 0 or 1 keeps every loop serial.
+	// Results are bit-identical to serial at any setting (fixed chunk
+	// grid, fixed combine order; see DESIGN.md §8), so the knob is pure
+	// throughput: golden fixtures and recovery replay are unaffected.
+	Parallelism int
 
 	Seed  uint64
 	Noise float64 // per-worker gradient noise half-width (default 0.05)
@@ -197,6 +206,7 @@ type Engine struct {
 	opts   Options
 	oracle *grad.Oracle
 	group  *comm.Group
+	pool   *parallel.Pool // nil: serial data plane
 
 	topo Topology
 	snap Snapshotter
@@ -248,6 +258,16 @@ func NewEngine(opts Options) (*Engine, error) {
 	}
 	e := &Engine{opts: opts, oracle: oracle, ft: opts.FaultTolerance, events: opts.Events}
 	e.lastFullIter.Store(-1)
+	if opts.Parallelism < 0 {
+		return nil, fmt.Errorf("core: Parallelism %d must be >= 0", opts.Parallelism)
+	}
+	if opts.Parallelism > 1 {
+		pool, err := parallel.New(opts.Parallelism)
+		if err != nil {
+			return nil, err
+		}
+		e.pool = pool
+	}
 	switch {
 	case opts.PP != nil:
 		err = e.initPP()
@@ -292,6 +312,7 @@ func (e *Engine) newWriter(kind checkpoint.DiffKind) error {
 		}
 	}
 	w.Events = e.opts.Events
+	w.Pool = e.pool
 	e.writer = w
 	return nil
 }
@@ -313,6 +334,12 @@ func (e *Engine) fields(kv map[string]any) map[string]any {
 func (e *Engine) registerMetrics(reg *obs.Registry) {
 	if reg == nil {
 		return
+	}
+	if p := e.pool; p != nil {
+		reg.FuncGauge("parallel.workers", func() float64 { return float64(p.Workers()) })
+		reg.FuncCounter("parallel.dispatches", p.Dispatches.Value)
+		reg.FuncCounter("parallel.inline", p.Inline.Value)
+		reg.FuncCounter("parallel.shards", p.Shards.Value)
 	}
 	e.topo.registerMetrics(reg)
 	e.snap.registerMetrics(reg)
@@ -471,7 +498,7 @@ func (e *Engine) persistFull(f *checkpoint.Full) error {
 	var err error
 	if e.ft != nil {
 		err = e.ft.Retry.Do(func() error {
-			_, err := checkpoint.SaveFull(e.opts.Store, f)
+			_, err := checkpoint.SaveFullWith(e.opts.Store, f, e.pool)
 			return err
 		}, func(attempt int, err error) {
 			e.faults.FullRetries.Inc()
@@ -480,7 +507,7 @@ func (e *Engine) persistFull(f *checkpoint.Full) error {
 			}))
 		})
 	} else {
-		_, err = checkpoint.SaveFull(e.opts.Store, f)
+		_, err = checkpoint.SaveFullWith(e.opts.Store, f, e.pool)
 	}
 	persistDone()
 	if err != nil {
@@ -588,14 +615,15 @@ func (e *Engine) gcOldCheckpoints() error {
 
 // applyCompressed applies a synchronized compressed gradient to params via
 // the optimizer: sparse payloads use the fused sparse step; dense payloads
-// take a dense step directly.
-func applyCompressed(o optim.Optimizer, params tensor.Vector, c *compress.Compressed) error {
+// take a dense step directly. Quantized payloads dequantize through pool
+// (nil: serial), bit-identically at any worker count.
+func applyCompressed(o optim.Optimizer, params tensor.Vector, c *compress.Compressed, pool *parallel.Pool) error {
 	if c.Idx != nil {
 		return o.StepSparse(params, c.Idx, c.Vals)
 	}
 	if len(c.Q) > 0 {
 		dense := tensor.New(c.N)
-		if err := c.Decompress(dense); err != nil {
+		if err := c.DecompressWith(pool, dense); err != nil {
 			return err
 		}
 		return o.Step(params, dense)

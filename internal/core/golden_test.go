@@ -72,13 +72,19 @@ type goldenConfig struct {
 	finish func(e goldenEngine) (optim.State, error)
 }
 
-func goldenConfigs() []goldenConfig {
+// goldenConfigs builds the fixture configurations with the given data-plane
+// parallelism. The fixtures were captured serially (par 0); any par value
+// must reproduce them bit for bit — the data-plane determinism contract
+// (DESIGN.md §8) — so TestGoldenEquivalenceParallel replays the SAME
+// fixtures with a sharded pool.
+func goldenConfigs(par int) []goldenConfig {
 	dp := func(opts Options) goldenConfig {
 		return goldenConfig{
 			build: func(store storage.Store, events *obs.EventLog) (goldenEngine, error) {
 				o := opts
 				o.Store = store
 				o.Events = events
+				o.Parallelism = par
 				return NewEngine(o)
 			},
 			run: func(e goldenEngine, iters int) (int64, int64, error) {
@@ -138,7 +144,8 @@ func goldenConfigs() []goldenConfig {
 		build: func(store storage.Store, events *obs.EventLog) (goldenEngine, error) {
 			return NewPlusEngine(PlusOptions{
 				Spec: model.Tiny(5, 24), Workers: 2, LR: 0.03,
-				Store: store, PersistEvery: 5, Seed: 105, Events: events,
+				Store: store, PersistEvery: 5, Parallelism: par,
+				Seed: 105, Events: events,
 			})
 		},
 		run: func(e goldenEngine, iters int) (int64, int64, error) {
@@ -159,7 +166,8 @@ func goldenConfigs() []goldenConfig {
 		build: func(store storage.Store, events *obs.EventLog) (goldenEngine, error) {
 			return NewPPEngine(PPOptions{
 				Spec: model.Tiny(8, 32), Stages: 4, Rho: 0.2,
-				Store: store, FullEvery: 10, BatchSize: 2, Seed: 106, Events: events,
+				Store: store, FullEvery: 10, BatchSize: 2, Parallelism: par,
+				Seed: 106, Events: events,
 			})
 		},
 		run: func(e goldenEngine, iters int) (int64, int64, error) {
@@ -178,7 +186,20 @@ func goldenConfigs() []goldenConfig {
 
 func TestGoldenEquivalence(t *testing.T) {
 	update := os.Getenv("LOWDIFF_UPDATE_GOLDEN") != ""
-	for _, cfg := range goldenConfigs() {
+	runGolden(t, 0, update)
+}
+
+// TestGoldenEquivalenceParallel replays every golden configuration with the
+// data plane sharded over a 3-worker pool against the serially captured
+// fixtures: parallelism must never change a single byte of checkpoint
+// output, loss bit pattern, or event line. Fixtures are never regenerated
+// from this test.
+func TestGoldenEquivalenceParallel(t *testing.T) {
+	runGolden(t, 3, false)
+}
+
+func runGolden(t *testing.T, par int, update bool) {
+	for _, cfg := range goldenConfigs(par) {
 		cfg := cfg
 		t.Run(cfg.name, func(t *testing.T) {
 			got := captureGolden(t, cfg)

@@ -43,6 +43,11 @@ type PlusOptions struct {
 	// Default 4.
 	SnapshotWorkers int
 
+	// Parallelism shards the dense data-plane loops (replica assembly,
+	// checkpoint encode/decode) across that many pool workers; 0 or 1 is
+	// serial. Bit-identical to serial at any setting (DESIGN.md §8).
+	Parallelism int
+
 	Seed  uint64
 	Noise float64 // default 0.05
 
@@ -82,17 +87,18 @@ type PlusEngine struct {
 // worker state, mirroring the paper's copy.deepcopy() at spawn time.
 func NewPlusEngine(opts PlusOptions) (*PlusEngine, error) {
 	e, err := NewEngine(Options{
-		Spec:      opts.Spec,
-		Workers:   opts.Workers,
-		Optimizer: opts.Optimizer,
-		LR:        opts.LR,
-		Momentum:  opts.Momentum,
-		Store:     opts.Store,
-		QueueCap:  opts.QueueCap,
-		Seed:      opts.Seed,
-		Noise:     opts.Noise,
-		Metrics:   opts.Metrics,
-		Events:    opts.Events,
+		Spec:        opts.Spec,
+		Workers:     opts.Workers,
+		Optimizer:   opts.Optimizer,
+		LR:          opts.LR,
+		Momentum:    opts.Momentum,
+		Store:       opts.Store,
+		QueueCap:    opts.QueueCap,
+		Parallelism: opts.Parallelism,
+		Seed:        opts.Seed,
+		Noise:       opts.Noise,
+		Metrics:     opts.Metrics,
+		Events:      opts.Events,
 		Plus: &PlusSpec{
 			PersistEvery:    opts.PersistEvery,
 			SnapshotWorkers: opts.SnapshotWorkers,
@@ -154,7 +160,7 @@ func (e *Engine) initPlus() error {
 	if ps.SnapshotWorkers < 1 {
 		return fmt.Errorf("core: SnapshotWorkers %d must be >= 1", ps.SnapshotWorkers)
 	}
-	group, err := comm.NewGroup(opts.Workers)
+	group, err := comm.NewGroupPooled(opts.Workers, e.pool)
 	if err != nil {
 		return err
 	}
@@ -457,7 +463,7 @@ func (s *replicaSnapshotter) assemble(rc *runCtx) {
 		// scatter it into the assembly buffer.
 		off := offsets[it.Layer]
 		view := assembled[off : off+spec.Layers[it.Layer].Size]
-		if err := it.Grad.Decompress(view); err != nil {
+		if err := it.Grad.DecompressWith(e.pool, view); err != nil {
 			rc.errCh <- err
 			return
 		}

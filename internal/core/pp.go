@@ -45,6 +45,12 @@ type PPOptions struct {
 	// each full persist (0 keeps everything).
 	RetainFulls int
 
+	// Parallelism shards the dense data-plane loops (stage compression,
+	// merge coordination, checkpoint encode/decode) across that many pool
+	// workers; 0 or 1 is serial. Bit-identical to serial at any setting
+	// (DESIGN.md §8).
+	Parallelism int
+
 	Seed  uint64
 	Noise float64 // default 0.05
 
@@ -133,6 +139,7 @@ func NewPPEngine(opts PPOptions) (*PPEngine, error) {
 		BatchSize:   opts.BatchSize,
 		QueueCap:    opts.QueueCap,
 		RetainFulls: opts.RetainFulls,
+		Parallelism: opts.Parallelism,
 		Seed:        opts.Seed,
 		Noise:       opts.Noise,
 		Metrics:     opts.Metrics,
@@ -191,7 +198,7 @@ func (e *Engine) initPP() error {
 	default:
 		return fmt.Errorf("core: pp codec %q not supported (topk or identity)", opts.Codec)
 	}
-	group, err := comm.NewGroup(opts.PP.Stages)
+	group, err := comm.NewGroupPooled(opts.PP.Stages, e.pool)
 	if err != nil {
 		return err
 	}
@@ -206,7 +213,7 @@ func (e *Engine) initPP() error {
 			return err
 		}
 		e.opts2 = append(e.opts2, o)
-		c, err := compress.New(opts.Codec, opts.Rho, opts.Seed+uint64(s))
+		c, err := compress.NewPooled(opts.Codec, opts.Rho, opts.Seed+uint64(s), e.pool)
 		if err != nil {
 			return err
 		}
@@ -346,7 +353,7 @@ func (r *ppRank) step(rc *runCtx, t int64) error {
 		r.merge.partCh <- ppPart{iter: t, c: globalPart}
 	}
 	// Update this stage's parameters only.
-	if err := applyCompressed(e.opts2[s], r.slice, local); err != nil {
+	if err := applyCompressed(e.opts2[s], r.slice, local, e.pool); err != nil {
 		return err
 	}
 	// Pipeline flush: stages align at iteration boundaries.
@@ -463,7 +470,7 @@ func (s *mergeSnapshotter) coordinate(rc *runCtx) {
 		if len(pending[p.iter]) < e.opts.PP.Stages {
 			continue
 		}
-		merged, err := compress.Merge(pending[p.iter]...)
+		merged, err := compress.MergeWith(e.pool, pending[p.iter]...)
 		delete(pending, p.iter)
 		if err != nil {
 			rc.errCh <- err

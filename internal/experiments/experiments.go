@@ -102,6 +102,16 @@ func (t *Table) RenderCSV(w io.Writer) error {
 	return err
 }
 
+// dataPlaneParallelism is the pool width the functional experiments build
+// their engines with (core Options.Parallelism); 0 or 1 keeps the data
+// plane serial. Set through SetParallelism before running experiments.
+var dataPlaneParallelism int
+
+// SetParallelism sets the engine data-plane pool width used by the
+// functional experiments. Results are bit-identical at any width
+// (DESIGN.md §8); only wall-clock columns change.
+func SetParallelism(n int) { dataPlaneParallelism = n }
+
 // Generator produces one experiment's table.
 type Generator func() (*Table, error)
 

@@ -98,6 +98,11 @@ func DefaultConfig() *Config {
 			"lowdiff/internal/checkpoint",
 			"lowdiff/internal/obs",
 			"lowdiff/internal/core",
+			// The parallel data plane promises bit-identical results at any
+			// worker count; map iteration or wall-clock/global-rand reads in
+			// its shard or combine paths would silently break that.
+			"lowdiff/internal/compress",
+			"lowdiff/internal/parallel",
 		},
 		FloatEqAllowFuncs: []string{
 			"lowdiff/internal/tensor.Vector.Equal",

@@ -1,12 +1,14 @@
 #!/bin/sh
 # Benchmark baseline refresh: runs the tier-1 benchmark suites plus the
 # observability-layer benchmarks and writes the parsed results to
-# BENCH_obs.json (benchmark name -> ns/op, B/op, allocs/op).
+# BENCH_obs.json, then runs the data-plane composite benchmarks (serial
+# baseline vs k-way/pooled compress+merge, pooled decompress) and writes
+# them to BENCH_dataplane.json (benchmark name -> ns/op, B/op, allocs/op).
 #
 #   BENCHTIME=1x scripts/bench.sh     # CI smoke: one iteration per benchmark
-#   BENCH_OUT=/tmp/b.json scripts/bench.sh
+#   BENCH_OUT=/tmp/b.json BENCH_DATAPLANE_OUT=/tmp/d.json scripts/bench.sh
 #
-# Run from the repository root. The baseline is checked in so reviewers can
+# Run from the repository root. The baselines are checked in so reviewers can
 # spot order-of-magnitude regressions in diffs; ns/op values are machine-
 # dependent and only comparable against runs on the same hardware.
 set -eu
@@ -15,6 +17,7 @@ cd "$(dirname "$0")/.."
 
 BENCHTIME="${BENCHTIME:-1s}"
 BENCH_OUT="${BENCH_OUT:-BENCH_obs.json}"
+BENCH_DATAPLANE_OUT="${BENCH_DATAPLANE_OUT:-BENCH_dataplane.json}"
 
 tmp=$(mktemp)
 trap 'rm -f "$tmp"' EXIT
@@ -26,3 +29,13 @@ done
 
 go run ./cmd/benchfmt <"$tmp" >"$BENCH_OUT"
 echo "wrote $BENCH_OUT" >&2
+
+dptmp=$(mktemp)
+trap 'rm -f "$tmp" "$dptmp"' EXIT
+
+echo "== go test -bench Dataplane ./internal/compress (benchtime $BENCHTIME) ==" >&2
+go test -run '^$' -bench 'Dataplane' -benchmem -benchtime "$BENCHTIME" ./internal/compress |
+    tee "$dptmp" >&2
+
+go run ./cmd/benchfmt <"$dptmp" >"$BENCH_DATAPLANE_OUT"
+echo "wrote $BENCH_DATAPLANE_OUT" >&2

@@ -20,7 +20,8 @@ go vet ./...
 echo "== lowdifflint (determinism, checkederr, floateq, mutexcopy, deferunlock) =="
 go run ./cmd/lowdifflint ./...
 
-echo "== go test -race (core, storage, recovery, obs) =="
-go test -race ./internal/core/... ./internal/storage/... ./internal/recovery/... ./internal/obs/...
+echo "== go test -race (core, storage, recovery, obs, data plane) =="
+go test -race ./internal/core/... ./internal/storage/... ./internal/recovery/... ./internal/obs/... \
+    ./internal/parallel/... ./internal/compress/... ./internal/checkpoint/... ./internal/comm/...
 
 echo "all checks passed"

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -94,11 +95,17 @@ func main() {
 
 // runVerify CRC-checks every checkpoint object and reports per-chain
 // validity: which objects are damaged, where recovery would anchor, and
-// how far it would reach. Exits 1 when any object fails verification.
+// how far it would reach.
+//
+// Exit codes: 0 when the store is clean, 1 when any object is damaged or
+// nothing is recoverable, 3 when quarantined objects are present (a prior
+// recovery moved damage aside — the store needs operator attention even if
+// the remaining chain verifies).
 func runVerify(args []string) {
 	fs := flag.NewFlagSet("verify", flag.ExitOnError)
 	dir := fs.String("dir", "", "checkpoint directory")
 	retries := fs.Int("retries", 3, "load attempts per object (absorbs transient read faults)")
+	jsonOut := fs.Bool("json", false, "emit a machine-readable JSON report instead of text")
 	fs.Parse(args)
 	if *dir == "" {
 		fs.Usage()
@@ -112,23 +119,74 @@ func runVerify(args []string) {
 	if err != nil {
 		fatal(err)
 	}
-	for _, o := range report.Objects {
-		fmt.Printf("  %-40s %s", o.Name, o.Status)
-		if o.Err != nil {
-			fmt.Printf("  (%v)", o.Err)
-		}
-		fmt.Println()
+	quarantined, err := store.List(recovery.QuarantinePrefix)
+	if err != nil {
+		fatal(err)
 	}
 	valid, corrupt, missing := report.Counts()
-	fmt.Printf("%d objects: %d valid, %d corrupt, %d missing\n",
-		len(report.Objects), valid, corrupt, missing)
-	if report.BaseIter < 0 {
-		fmt.Println("no valid full checkpoint: nothing recoverable")
-		os.Exit(1)
+
+	if *jsonOut {
+		type object struct {
+			Name   string `json:"name"`
+			Full   bool   `json:"full"`
+			Status string `json:"status"`
+			Error  string `json:"error,omitempty"`
+		}
+		out := struct {
+			Objects         []object `json:"objects"`
+			Valid           int      `json:"valid"`
+			Corrupt         int      `json:"corrupt"`
+			Missing         int      `json:"missing"`
+			BaseName        string   `json:"base_name,omitempty"`
+			BaseIter        int64    `json:"base_iter"`
+			RecoverableIter int64    `json:"recoverable_iter"`
+			Clean           bool     `json:"clean"`
+			Quarantined     []string `json:"quarantined"`
+		}{
+			Objects: make([]object, 0, len(report.Objects)),
+			Valid:   valid, Corrupt: corrupt, Missing: missing,
+			BaseName: report.BaseName, BaseIter: report.BaseIter,
+			RecoverableIter: report.RecoverableIter,
+			Clean:           report.Clean() && report.BaseIter >= 0,
+			Quarantined:     quarantined,
+		}
+		for _, o := range report.Objects {
+			obj := object{Name: o.Name, Full: o.IsFull, Status: o.Status.String()}
+			if o.Err != nil {
+				obj.Error = o.Err.Error()
+			}
+			out.Objects = append(out.Objects, obj)
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fatal(err)
+		}
+	} else {
+		for _, o := range report.Objects {
+			fmt.Printf("  %-40s %s", o.Name, o.Status)
+			if o.Err != nil {
+				fmt.Printf("  (%v)", o.Err)
+			}
+			fmt.Println()
+		}
+		fmt.Printf("%d objects: %d valid, %d corrupt, %d missing\n",
+			len(report.Objects), valid, corrupt, missing)
+		for _, name := range quarantined {
+			fmt.Printf("  quarantined: %s\n", name)
+		}
+		if report.BaseIter < 0 {
+			fmt.Println("no valid full checkpoint: nothing recoverable")
+		} else {
+			fmt.Printf("recoverable to iteration %d (anchored on %s at iteration %d)\n",
+				report.RecoverableIter, report.BaseName, report.BaseIter)
+		}
 	}
-	fmt.Printf("recoverable to iteration %d (anchored on %s at iteration %d)\n",
-		report.RecoverableIter, report.BaseName, report.BaseIter)
-	if !report.Clean() {
+
+	switch {
+	case len(quarantined) > 0:
+		os.Exit(3)
+	case report.BaseIter < 0 || !report.Clean():
 		os.Exit(1)
 	}
 }

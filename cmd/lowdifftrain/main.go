@@ -16,7 +16,9 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 
+	"lowdiff/internal/comm"
 	"lowdiff/internal/core"
 	"lowdiff/internal/model"
 	"lowdiff/internal/obs"
@@ -41,6 +43,11 @@ func main() {
 	parallelism := flag.Int("parallelism", runtime.NumCPU(),
 		"data-plane pool workers for compression, merge, and checkpoint encode (1: serial; bit-identical either way)")
 	plus := flag.Bool("plus", false, "run the LowDiff+ engine (no compression)")
+	peer := flag.Bool("peer", false, "peer-replicated differentials: retain diffs in peer windows, persist only fulls")
+	peerWindow := flag.Int("peer-window", 0, "peer differential window depth W (0: full-every)")
+	peerCrash := flag.String("peer-crash", "", "scheduled peer crashes as rank@iter[,rank@iter...]")
+	peerDrop := flag.Float64("peer-drop", 0, "probability a peer retain is dropped (chaos)")
+	peerCorrupt := flag.Float64("peer-corrupt", 0, "probability a retained payload is corrupted (chaos)")
 	seed := flag.Uint64("seed", 42, "deterministic seed")
 	traceOut := flag.String("trace", "", "write a Chrome trace of the run to this file")
 	opsAddr := flag.String("ops-addr", "", "serve /metrics, /healthz, /snapshot, and pprof on this address (empty: off)")
@@ -123,10 +130,24 @@ func main() {
 	if *traceOut != "" {
 		rec = trace.New()
 	}
+	var peerSpec *core.PeerSpec
+	if *peer {
+		crashes, err := parsePeerCrashes(*peerCrash)
+		if err != nil {
+			fatal(err)
+		}
+		var chaos *comm.ChaosConfig
+		if len(crashes) > 0 || *peerDrop > 0 || *peerCorrupt > 0 {
+			chaos = &comm.ChaosConfig{
+				Seed: *seed, DropProb: *peerDrop, CorruptProb: *peerCorrupt, Crashes: crashes,
+			}
+		}
+		peerSpec = &core.PeerSpec{Window: *peerWindow, Chaos: chaos}
+	}
 	e, err := core.NewEngine(core.Options{
 		Spec: scaled, Workers: *workers, Optimizer: *optName, Rho: *rho,
 		Store: store, FullEvery: *fullEvery, BatchSize: *batch,
-		Parallelism: *parallelism, Seed: *seed,
+		Parallelism: *parallelism, Seed: *seed, Peer: peerSpec,
 		Trace: rec, Metrics: reg, Events: events,
 	})
 	if err != nil {
@@ -161,6 +182,9 @@ func main() {
 	}
 	fmt.Printf("trained %d iterations: loss %.4f, %d diff writes (%s), %d full checkpoints, snapshot time %s\n",
 		run, stats.FinalLoss, stats.DiffWrites, byteCount(stats.DiffBytes), stats.FullWrites, stats.SnapshotTime)
+	if *peer {
+		reportPeerRecovery(e, store)
+	}
 	if rec != nil {
 		f, err := os.Create(*traceOut)
 		if err != nil {
@@ -180,6 +204,44 @@ func main() {
 		fmt.Printf("simulated crash at iteration %d; recover with:\n  lowdifftrain -dir %s -recover\n", run, *dir)
 		os.Exit(1)
 	}
+}
+
+// parsePeerCrashes parses "rank@iter[,rank@iter...]" into a crash schedule.
+func parsePeerCrashes(s string) ([]comm.Crash, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var crashes []comm.Crash
+	for _, part := range strings.Split(s, ",") {
+		var c comm.Crash
+		if _, err := fmt.Sscanf(part, "%d@%d", &c.Rank, &c.Iter); err != nil {
+			return nil, fmt.Errorf("bad -peer-crash entry %q (want rank@iter): %w", part, err)
+		}
+		crashes = append(crashes, c)
+	}
+	return crashes, nil
+}
+
+// reportPeerRecovery exercises the peer recovery path after a peer-strategy
+// run: chain a surviving window onto the newest stored full and check the
+// result against the live parameters.
+func reportPeerRecovery(e *core.Engine, store storage.Store) {
+	fmt.Printf("peer plane: health %s, survivors %d/%d, fallback active: %v\n",
+		e.Health(), len(e.Peers().Survivors()), e.Peers().Size(), e.PeerFallbackActive())
+	st, rep, err := recovery.FromPeers(store, e.Peers(), recovery.ValidateOptions{})
+	if err != nil {
+		fatal(err)
+	}
+	src := "storage only (no surviving window extends the store)"
+	if rep.PeerRank >= 0 {
+		src = fmt.Sprintf("%d differentials from rank %d's window", rep.PeerDiffs, rep.PeerRank)
+	}
+	match := "bit-exact"
+	if !st.Params.Equal(e.Params()) {
+		match = "DIVERGED"
+	}
+	fmt.Printf("peer recovery: storage iter %d -> %d via %s; vs live model: %s\n",
+		rep.StorageIter, st.Iter, src, match)
 }
 
 func runPlus(spec model.Spec, store storage.Store, workers, iters, parallelism int, seed uint64,

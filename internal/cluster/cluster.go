@@ -47,11 +47,15 @@ const (
 	LowDiff      Strategy = "lowdiff"   // the paper's system
 	LowDiffPlusS Strategy = "lowdiff+s" // LowDiff+ in-memory checkpointing
 	LowDiffPlusP Strategy = "lowdiff+p" // LowDiff+ persisted checkpoints
+	// LowDiffPeer retains each iteration's compressed differential in the
+	// peers' memory (a bounded window per worker) instead of writing it to
+	// the store; only periodic fulls are persisted (DESIGN.md §9).
+	LowDiffPeer Strategy = "lowdiff-peer"
 )
 
 // Strategies lists all simulated strategies in presentation order.
 func Strategies() []Strategy {
-	return []Strategy{WOCkpt, TorchSave, CheckFreq, Gemini, NaiveDC, LowDiff, LowDiffPlusS, LowDiffPlusP}
+	return []Strategy{WOCkpt, TorchSave, CheckFreq, Gemini, NaiveDC, LowDiff, LowDiffPlusS, LowDiffPlusP, LowDiffPeer}
 }
 
 // Calibrated overlap fractions (see package comment and timemodel docs).
@@ -68,7 +72,11 @@ const (
 	plusFixedFrac      = 0.04   // layer-wise snapshot bookkeeping
 	plusD2HExposed     = 0.5    // fraction of raw-gradient D2H not hidden
 	diffWriteLatency   = 0.0095 // fixed seconds per differential store write
-	gpusPerServer      = 4      // LowDiff+ shards persistence per server
+	// Retaining the already-received compressed gradient in the peer window
+	// is a ring insert plus a CRC — cheaper than LowDiff's queue hand-off
+	// and decompress because nothing leaves the worker.
+	peerRetainFrac = 0.008
+	gpusPerServer  = 4 // LowDiff+ shards persistence per server
 	// CheckFreq's profiler settles on a 10-iteration interval (paper
 	// Exp. 4 observes it "consistently maintains an interval of 10").
 	checkFreqProfilerInterval = 10
@@ -127,6 +135,9 @@ type Plan struct {
 	FullEvery int
 	// BatchSize is LowDiff's batched-write size (default 1).
 	BatchSize int
+	// Window is LowDiffPeer's per-peer differential ring depth W
+	// (default FullEvery: the window always reaches the newest full).
+	Window int
 }
 
 func (p Plan) withDefaults() Plan {
@@ -139,6 +150,9 @@ func (p Plan) withDefaults() Plan {
 	if p.BatchSize == 0 {
 		p.BatchSize = 1
 	}
+	if p.Window == 0 {
+		p.Window = p.FullEvery
+	}
 	return p
 }
 
@@ -146,11 +160,11 @@ func (p Plan) withDefaults() Plan {
 func (p Plan) Validate() error {
 	p = p.withDefaults()
 	switch p.Strategy {
-	case WOCkpt, TorchSave, CheckFreq, Gemini, NaiveDC, LowDiff, LowDiffPlusS, LowDiffPlusP:
+	case WOCkpt, TorchSave, CheckFreq, Gemini, NaiveDC, LowDiff, LowDiffPlusS, LowDiffPlusP, LowDiffPeer:
 	default:
 		return fmt.Errorf("cluster: unknown strategy %q", p.Strategy)
 	}
-	if p.Interval < 1 || p.FullEvery < 1 || p.BatchSize < 1 {
+	if p.Interval < 1 || p.FullEvery < 1 || p.BatchSize < 1 || p.Window < 1 {
 		return fmt.Errorf("cluster: plan intervals must be >= 1: %+v", p)
 	}
 	return nil
@@ -242,6 +256,16 @@ func PerIterOverhead(w Workload, p Plan) (Overhead, error) {
 		backlog := math.Max(0, writes-f*tIter) / f
 		return Overhead{Blocking: block, Backlog: backlog, Contention: contention}, nil
 
+	case LowDiffPeer:
+		// Differentials never leave the workers: retention is a ring
+		// insert plus a CRC over the compressed gradient the all-gather
+		// already delivered. Only the periodic full hits the SSD.
+		f := float64(p.FullEvery)
+		block := peerRetainFrac * tIter
+		block += math.Max(0, h.D2HTime(S)-checkFreqHideIters*tIter) / f
+		backlog := math.Max(0, h.SSDWriteTime(S)-f*tIter) / f
+		return Overhead{Blocking: block, Backlog: backlog}, nil
+
 	case LowDiffPlusS:
 		// Raw-gradient offload every iteration, half hidden by layer-wise
 		// pipelining (bus contention); the CPU-side replica update costs a
@@ -307,7 +331,9 @@ func MaxFrequency(w Workload, s Strategy, bound float64, maxK int) (int, error) 
 	if s == WOCkpt {
 		return 1, nil
 	}
-	if s == LowDiffPlusS {
+	if s == LowDiffPlusS || s == LowDiffPeer {
+		// Peer retention happens every iteration by design: the window
+		// absorbs each differential with no frequency-dependent stall.
 		return 1, nil
 	}
 	if s == CheckFreq {

@@ -162,6 +162,14 @@ func SimulateFailures(cfg FailureConfig) (FailureResult, error) {
 					fullPoints = addPoint(fullPoints, point{i, fin})
 				}
 			}
+		case LowDiffPeer:
+			// Differentials stay in the peers' windows: only the periodic
+			// full checkpoint touches the persistence device.
+			if i%p.FullEvery == 0 {
+				if fin, ok := submit(t, S); ok {
+					fullPoints = addPoint(fullPoints, point{i, fin})
+				}
+			}
 		}
 	}
 
@@ -192,6 +200,15 @@ func SimulateFailures(cfg FailureConfig) (FailureResult, error) {
 				bestFull = pt.iter
 			}
 		}
+		if p.Strategy == LowDiffPeer {
+			// A failure kills one worker; the survivors' windows extend the
+			// last durable full with every retained differential — as long
+			// as the window still reaches back to that full.
+			if iter-bestFull <= p.Window {
+				return iter, false
+			}
+			return bestFull, false
+		}
 		best := bestFull
 		if p.Strategy == NaiveDC || p.Strategy == LowDiff {
 			// Differentials extend the chain past the full checkpoint.
@@ -221,7 +238,7 @@ func SimulateFailures(cfg FailureConfig) (FailureResult, error) {
 			return 120
 		case Gemini:
 			return 90
-		case LowDiff, LowDiffPlusP:
+		case LowDiff, LowDiffPlusP, LowDiffPeer:
 			return 60
 		default:
 			return 60
@@ -243,6 +260,13 @@ func SimulateFailures(cfg FailureConfig) (FailureResult, error) {
 			nBatches := r % p.FullEvery / (p.Interval * p.BatchSize)
 			perBatch := h.SSDReadTime(float64(p.BatchSize)*gc) + gc/applyBps + mergeFixedSeconds
 			return restart() + h.SSDReadTime(S) + float64(nBatches)*perBatch
+		case LowDiffPeer:
+			// Load the full from the store, then fetch each retained
+			// differential from a surviving peer over the network and merge
+			// — no store reads on the differential path.
+			nDiffs := r % p.FullEvery
+			perDiff := h.NetTime(gc) + gc/applyBps + mergeFixedSeconds
+			return restart() + h.SSDReadTime(S) + float64(nDiffs)*perDiff
 		case LowDiffPlusS, LowDiffPlusP:
 			if soft {
 				return 10 + h.D2HTime(S)

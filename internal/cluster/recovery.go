@@ -76,6 +76,15 @@ func RecoveryTime(w Workload, s Strategy, fullEvery int, parallel bool) (float64
 		final := gc/applyBps + mergeFixedSeconds
 		return hardRestartSeconds + h.SSDReadTime(S) + loads + merges + final, nil
 
+	case LowDiffPeer:
+		// The differentials live in a surviving peer's window: load the
+		// full from the store, fetch each retained compressed gradient
+		// over the network, and merge (same replay path as LowDiff, with
+		// network fetches replacing SSD reads).
+		gc := timemodel.CompressedGradBytes(w.Spec, w.Rho, w.Workers)
+		perDiff := h.NetTime(gc) + gc/applyBps + mergeFixedSeconds
+		return hardRestartSeconds + h.SSDReadTime(S) + n*perDiff, nil
+
 	case LowDiffPlusS:
 		// Software failure: the CPU replica survives; copy it back to the
 		// GPUs and redo the in-flight iteration (§5.3).

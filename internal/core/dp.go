@@ -40,6 +40,29 @@ func (e *Engine) initDP() error {
 	if opts.Codec == "randk" && opts.Workers > 1 {
 		return fmt.Errorf("core: randk selects different indices per worker; use topk or identity for multi-worker runs")
 	}
+	if err := e.initDPWorkers(); err != nil {
+		return err
+	}
+	if opts.Store != nil && !opts.DisableDiffs {
+		kind := checkpoint.KindGradient
+		if opts.NaiveDC {
+			kind = checkpoint.KindStateDelta
+		}
+		if err := e.newWriter(kind); err != nil {
+			return err
+		}
+	}
+	chain := &chainSnapshotter{e: e}
+	e.topo = &dpTopology{e: e, chain: chain}
+	e.snap = chain
+	return nil
+}
+
+// initDPWorkers builds the data-parallel worker state shared by the DP and
+// Peer strategies: the communicator group and, per worker, replicated
+// parameters, an optimizer, and a compressor.
+func (e *Engine) initDPWorkers() error {
+	opts := e.opts
 	group, err := comm.NewGroupPooled(opts.Workers, e.pool)
 	if err != nil {
 		return err
@@ -68,18 +91,6 @@ func (e *Engine) initDP() error {
 		}
 		e.comps = append(e.comps, c)
 	}
-	if opts.Store != nil && !opts.DisableDiffs {
-		kind := checkpoint.KindGradient
-		if opts.NaiveDC {
-			kind = checkpoint.KindStateDelta
-		}
-		if err := e.newWriter(kind); err != nil {
-			return err
-		}
-	}
-	chain := &chainSnapshotter{e: e}
-	e.topo = &dpTopology{e: e, chain: chain}
-	e.snap = chain
 	return nil
 }
 
@@ -272,7 +283,12 @@ func (s *chainSnapshotter) runEndFields(stats *RunStats) map[string]any {
 }
 
 func (s *chainSnapshotter) registerMetrics(reg *obs.Registry) {
-	e := s.e
+	s.e.registerChainMetrics(reg)
+}
+
+// registerChainMetrics exposes the differential-chain and fault-ladder
+// instruments shared by the DP and Peer strategies.
+func (e *Engine) registerChainMetrics(reg *obs.Registry) {
 	if e.writer != nil {
 		w := e.writer
 		reg.FuncCounter("ckpt.diff.writes", w.Writes.Value)
@@ -293,6 +309,7 @@ func (s *chainSnapshotter) registerMetrics(reg *obs.Registry) {
 	reg.FuncCounter("fault.gc_failures", fs.GCFailures.Value)
 	reg.FuncCounter("fault.degradations", fs.Degradations.Value)
 	reg.FuncCounter("fault.recoveries", fs.Recoveries.Value)
+	reg.FuncCounter("engine.retry.backoff", fs.RetryBackoffs.Value)
 }
 
 // consumeDiffs is the checkpointing process: diff consumer (§4.1 Alg. 1).

@@ -118,6 +118,15 @@ type Options struct {
 	// stage diffs are merged by a coordinator into one global chain.
 	// Mutually exclusive with Plus.
 	PP *PPSpec
+	// Peer selects the peer-replicated differential strategy
+	// (Checkmate-style): every worker retains the merged compressed
+	// gradient it already received from the all-gather in a bounded ring
+	// window, so per-iteration differentials cost zero storage writes;
+	// only the periodic full checkpoints reach the store. When surviving
+	// windows cannot cover the chain, the engine degrades to the storage
+	// differential path (see DESIGN.md §9). Mutually exclusive with Plus
+	// and PP.
+	Peer *PeerSpec
 }
 
 // PlusSpec holds the LowDiff+-specific knobs of Options.
@@ -134,6 +143,17 @@ type PlusSpec struct {
 // PPSpec holds the pipeline-parallel-specific knobs of Options.
 type PPSpec struct {
 	Stages int // pipeline stages (>= 1)
+}
+
+// PeerSpec holds the peer-replication-specific knobs of Options.
+type PeerSpec struct {
+	// Window is the per-peer differential ring depth W (default
+	// FullEvery, the minimum that guarantees the window always reaches
+	// back to the newest scheduled full checkpoint).
+	Window int
+	// Chaos, when non-nil, injects seeded peer-payload faults and
+	// scheduled whole-worker crashes into the retention plane.
+	Chaos *comm.ChaosConfig
 }
 
 func (o Options) withDefaults() Options {
@@ -176,6 +196,13 @@ func (o Options) withDefaults() Options {
 			ps.SnapshotWorkers = 4
 		}
 		o.Plus = &ps
+	}
+	if o.Peer != nil {
+		ps := *o.Peer
+		if ps.Window == 0 {
+			ps.Window = o.FullEvery
+		}
+		o.Peer = &ps
 	}
 	return o
 }
@@ -238,6 +265,12 @@ type Engine struct {
 	needFull     atomic.Bool  // trainer should snapshot a fallback full
 	lastFullIter atomic.Int64 // newest successfully persisted full (-1: none)
 
+	// Peer-replication state (active under the Peer strategy).
+	peers         *comm.Peers
+	peerFallback  atomic.Bool     // storage-differential fallback engaged
+	peerFallbacks metrics.Counter // peer→storage fallbacks engaged
+	peerRestores  metrics.Counter // peer plane re-validated (fallback left)
+
 	// FullSnapshotTimer observes snapshot (state-clone) costs.
 	FullSnapshotTimer metrics.Timer
 }
@@ -249,14 +282,33 @@ func NewEngine(opts Options) (*Engine, error) {
 	if err := opts.Spec.Validate(); err != nil {
 		return nil, err
 	}
-	if opts.Plus != nil && opts.PP != nil {
-		return nil, fmt.Errorf("core: the Plus and PP strategies are mutually exclusive")
+	selected := 0
+	for _, on := range []bool{opts.Plus != nil, opts.PP != nil, opts.Peer != nil} {
+		if on {
+			selected++
+		}
+	}
+	if selected > 1 {
+		return nil, fmt.Errorf("core: the Plus, PP, and Peer strategies are mutually exclusive")
 	}
 	oracle, err := grad.New(opts.Spec, opts.Seed, opts.Noise)
 	if err != nil {
 		return nil, err
 	}
-	e := &Engine{opts: opts, oracle: oracle, ft: opts.FaultTolerance, events: opts.Events}
+	e := &Engine{opts: opts, oracle: oracle, events: opts.Events}
+	if opts.FaultTolerance != nil {
+		// Copy so wiring the backoff observer never mutates the caller's
+		// options struct; a caller-supplied observer still runs.
+		ft := *opts.FaultTolerance
+		userHook := ft.Retry.OnBackoff
+		ft.Retry.OnBackoff = func(attempt int, d time.Duration) {
+			e.faults.RetryBackoffs.Inc()
+			if userHook != nil {
+				userHook(attempt, d)
+			}
+		}
+		e.ft = &ft
+	}
 	e.lastFullIter.Store(-1)
 	if opts.Parallelism < 0 {
 		return nil, fmt.Errorf("core: Parallelism %d must be >= 0", opts.Parallelism)
@@ -273,6 +325,8 @@ func NewEngine(opts Options) (*Engine, error) {
 		err = e.initPP()
 	case opts.Plus != nil:
 		err = e.initPlus()
+	case opts.Peer != nil:
+		err = e.initPeer()
 	default:
 		err = e.initDP()
 	}

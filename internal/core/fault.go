@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -8,15 +9,33 @@ import (
 )
 
 // RetryPolicy bounds how hard a persist operation fights a failing store:
-// up to MaxRetries additional attempts with deterministic linear backoff
-// (attempt k sleeps k·Backoff) and an optional per-object write deadline.
-// The zero value retries 3 times with no backoff and no deadline.
+// up to MaxRetries additional attempts with seeded, jittered exponential
+// backoff (attempt k sleeps Backoff·2^(k-1), capped by MaxBackoff), an
+// optional per-attempt write deadline, and an optional total deadline
+// across all attempts. Every source of randomness and time is a seam
+// (Seed, Sleep, Now), so retry schedules are deterministic in tests.
+// The zero value retries 3 times with no backoff and no deadlines.
 type RetryPolicy struct {
-	// MaxRetries is the number of attempts after the first (default 3).
+	// MaxRetries is the number of attempts after the first (default 3);
+	// negative disables retrying entirely.
 	MaxRetries int
-	// Backoff is the base backoff; attempt k waits k·Backoff before
-	// retrying. Zero disables sleeping (useful in tests).
+	// Backoff is the base backoff: attempt k waits Backoff·2^(k-1) before
+	// retrying (jittered when Jitter > 0). Zero disables sleeping.
 	Backoff time.Duration
+	// MaxBackoff caps a single backoff sleep (0: no cap).
+	MaxBackoff time.Duration
+	// Jitter randomizes each backoff multiplicatively: a sleep of d
+	// becomes d·(1 − Jitter·u) with u ∈ [0,1) drawn from a SplitMix64
+	// stream seeded by Seed. Zero disables jitter; values are clamped to
+	// [0, 1]. The stream is re-seeded per Do call, so a given policy
+	// reproduces the same schedule every time — deterministic in tests.
+	Jitter float64
+	// Seed seeds the jitter stream.
+	Seed uint64
+	// Deadline, when positive, is the total retry budget: once the time
+	// since the first attempt reaches it, no further attempt is made and
+	// the operation fails with ErrRetryExhausted (deadline flavor).
+	Deadline time.Duration
 	// Timeout, when positive, is the per-attempt write deadline: an
 	// attempt still running after Timeout counts as failed and is
 	// retried. The abandoned attempt keeps running in the background;
@@ -25,11 +44,41 @@ type RetryPolicy struct {
 	Timeout time.Duration
 	// Sleep is the backoff seam (nil uses time.Sleep).
 	Sleep func(time.Duration)
+	// Now is the clock seam for Deadline accounting (nil uses time.Now).
+	Now func() time.Time
+	// OnBackoff, when non-nil, observes every backoff sleep (the engine
+	// wires it to the engine.retry.backoff counter).
+	OnBackoff func(attempt int, d time.Duration)
 }
 
 // ErrWriteDeadline reports a persist attempt that exceeded the policy's
 // per-object write deadline.
 var ErrWriteDeadline = fmt.Errorf("core: object write exceeded deadline")
+
+// ErrRetryExhausted reports that a retried operation ran out of attempts
+// (or retry deadline) without succeeding. Errors returned by
+// RetryPolicy.Do match it via errors.Is while still matching the
+// operation's final underlying error.
+var ErrRetryExhausted = errors.New("core: retry attempts exhausted")
+
+// RetryError is the failure Do returns after the policy gives up: how many
+// attempts ran, whether the total deadline cut retrying short, and the
+// final attempt's error.
+type RetryError struct {
+	Attempts   int
+	DeadlineUp bool
+	Err        error
+}
+
+func (e *RetryError) Error() string {
+	if e.DeadlineUp {
+		return fmt.Sprintf("retry deadline exhausted after %d attempts: %v", e.Attempts, e.Err)
+	}
+	return fmt.Sprintf("retries exhausted after %d attempts: %v", e.Attempts, e.Err)
+}
+
+// Unwrap matches both ErrRetryExhausted and the final attempt error.
+func (e *RetryError) Unwrap() []error { return []error{ErrRetryExhausted, e.Err} }
 
 func (p RetryPolicy) withDefaults() RetryPolicy {
 	if p.MaxRetries == 0 {
@@ -37,6 +86,15 @@ func (p RetryPolicy) withDefaults() RetryPolicy {
 	}
 	if p.Sleep == nil {
 		p.Sleep = time.Sleep
+	}
+	if p.Now == nil {
+		p.Now = time.Now
+	}
+	if p.Jitter < 0 {
+		p.Jitter = 0
+	}
+	if p.Jitter > 1 {
+		p.Jitter = 1
 	}
 	return p
 }
@@ -56,22 +114,70 @@ func (p RetryPolicy) attempt(op func() error) error {
 	}
 }
 
+// splitmix64 advances a SplitMix64 state and returns the next 64 bits.
+func splitmix64(s *uint64) uint64 {
+	*s += 0x9e3779b97f4a7c15
+	z := *s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// backoffFor computes attempt k's backoff: exponential doubling from the
+// base, capped, then jittered downward from the seeded stream.
+func (p RetryPolicy) backoffFor(attempt int, rng *uint64) time.Duration {
+	if p.Backoff <= 0 {
+		return 0
+	}
+	d := p.Backoff
+	for i := 1; i < attempt; i++ {
+		d *= 2
+		if p.MaxBackoff > 0 && d >= p.MaxBackoff {
+			d = p.MaxBackoff
+			break
+		}
+	}
+	if p.MaxBackoff > 0 && d > p.MaxBackoff {
+		d = p.MaxBackoff
+	}
+	if p.Jitter > 0 {
+		u := float64(splitmix64(rng)>>11) / (1 << 53)
+		d = time.Duration(float64(d) * (1 - p.Jitter*u))
+	}
+	return d
+}
+
 // Do runs op, retrying per the policy. onRetry (may be nil) observes each
-// retry before its backoff sleep. The final error is returned when every
-// attempt fails; MaxRetries < 0 disables retrying entirely.
+// retry before its backoff sleep. When every attempt fails (or the retry
+// deadline expires) Do returns a *RetryError matching both
+// ErrRetryExhausted and the final attempt's error; MaxRetries < 0 disables
+// retrying entirely.
 func (p RetryPolicy) Do(op func() error, onRetry func(attempt int, err error)) error {
 	p = p.withDefaults()
+	start := p.Now()
+	rng := p.Seed
+	attempts := 1
 	err := p.attempt(op)
 	for attempt := 1; err != nil && attempt <= p.MaxRetries; attempt++ {
+		if p.Deadline > 0 && p.Now().Sub(start) >= p.Deadline {
+			return &RetryError{Attempts: attempts, DeadlineUp: true, Err: err}
+		}
 		if onRetry != nil {
 			onRetry(attempt, err)
 		}
-		if p.Backoff > 0 {
-			p.Sleep(time.Duration(attempt) * p.Backoff)
+		if d := p.backoffFor(attempt, &rng); d > 0 {
+			if p.OnBackoff != nil {
+				p.OnBackoff(attempt, d)
+			}
+			p.Sleep(d)
 		}
 		err = p.attempt(op)
+		attempts++
 	}
-	return err
+	if err != nil {
+		return &RetryError{Attempts: attempts, Err: err}
+	}
+	return nil
 }
 
 // Health is the engine's position on the degradation ladder. The ladder
@@ -79,6 +185,9 @@ func (p RetryPolicy) Do(op func() error, onRetry func(attempt int, err error)) e
 // checkpoint lands:
 //
 //	HealthOK            → all checkpoint paths working
+//	HealthDegradedPeer  → surviving peer windows cannot cover the chain
+//	                      (crashes or corrupt payloads); the peer strategy
+//	                      fell back to the storage-differential path
 //	HealthDegradedDiff  → differential writes failing persistently; the
 //	                      engine fell back to full checkpoints and drops
 //	                      differentials until a new full base lands
@@ -88,6 +197,7 @@ type Health int32
 
 const (
 	HealthOK Health = iota
+	HealthDegradedPeer
 	HealthDegradedDiff
 	HealthDegraded
 )
@@ -96,6 +206,8 @@ func (h Health) String() string {
 	switch h {
 	case HealthOK:
 		return "ok"
+	case HealthDegradedPeer:
+		return "degraded-peer"
 	case HealthDegradedDiff:
 		return "degraded-diff"
 	case HealthDegraded:
@@ -127,6 +239,7 @@ type FaultStats struct {
 	GCFailures    metrics.Counter // retention sweeps that failed
 	Degradations  metrics.Counter // downward ladder transitions
 	Recoveries    metrics.Counter // upward ladder transitions (health restored)
+	RetryBackoffs metrics.Counter // backoff sleeps taken by retrying persists
 }
 
 // Snapshot returns the counters as a name → value map (for reports).
@@ -141,6 +254,7 @@ func (s *FaultStats) Snapshot() map[string]int64 {
 		"gc_failures":    s.GCFailures.Value(),
 		"degradations":   s.Degradations.Value(),
 		"recoveries":     s.Recoveries.Value(),
+		"retry_backoffs": s.RetryBackoffs.Value(),
 	}
 }
 
@@ -168,12 +282,19 @@ func (e *Engine) degradeTo(h Health) bool {
 	}
 }
 
-// restoreHealth climbs back to HealthOK after a full checkpoint lands
-// while the engine is in HealthDegradedDiff. HealthDegraded is sticky for
-// the persister (it stops attempting writes), so it is not climbed here.
+// restoreHealth climbs back up after a full checkpoint lands while the
+// engine is in HealthDegradedDiff. The climb stops at HealthDegradedPeer
+// while the peer strategy is still on its storage fallback (the peer plane
+// has not been re-validated yet); otherwise it returns to HealthOK.
+// HealthDegraded is sticky for the persister (it stops attempting writes),
+// so it is not climbed here.
 func (e *Engine) restoreHealth() {
-	if e.health.CompareAndSwap(int32(HealthDegradedDiff), int32(HealthOK)) {
+	floor := HealthOK
+	if e.peerFallback.Load() {
+		floor = HealthDegradedPeer
+	}
+	if e.health.CompareAndSwap(int32(HealthDegradedDiff), int32(floor)) {
 		e.faults.Recoveries.Inc()
-		e.events.Emit("health.recover", map[string]any{"to": HealthOK.String()})
+		e.events.Emit("health.recover", map[string]any{"to": floor.String()})
 	}
 }

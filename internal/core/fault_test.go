@@ -38,10 +38,100 @@ func TestRetryPolicySucceedsAfterTransientFailures(t *testing.T) {
 	if err != nil || calls != 3 || retries != 2 {
 		t.Fatalf("err=%v calls=%d retries=%d", err, calls, retries)
 	}
-	// Deterministic linear backoff: attempt k sleeps k·Backoff.
+	// Deterministic exponential backoff: attempt k sleeps Backoff·2^(k-1).
 	want := []time.Duration{10 * time.Millisecond, 20 * time.Millisecond}
 	if len(slept) != 2 || slept[0] != want[0] || slept[1] != want[1] {
 		t.Fatalf("backoff schedule %v, want %v", slept, want)
+	}
+}
+
+func TestRetryPolicyExponentialBackoffCappedAndJittered(t *testing.T) {
+	fake := fmt.Errorf("transient")
+	schedule := func(jitter float64, seed uint64) []time.Duration {
+		var slept []time.Duration
+		p := RetryPolicy{
+			MaxRetries: 4,
+			Backoff:    10 * time.Millisecond,
+			MaxBackoff: 35 * time.Millisecond,
+			Jitter:     jitter,
+			Seed:       seed,
+			Sleep:      func(d time.Duration) { slept = append(slept, d) },
+		}
+		_ = p.Do(func() error { return fake }, nil)
+		return slept
+	}
+	// Without jitter: 10, 20, 35 (capped), 35.
+	want := []time.Duration{10 * time.Millisecond, 20 * time.Millisecond, 35 * time.Millisecond, 35 * time.Millisecond}
+	got := schedule(0, 0)
+	if len(got) != len(want) {
+		t.Fatalf("schedule %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("schedule %v, want %v", got, want)
+		}
+	}
+	// Jitter shrinks sleeps, never grows them, and the same seed
+	// reproduces the exact same schedule.
+	j1, j2 := schedule(0.5, 42), schedule(0.5, 42)
+	for i := range j1 {
+		if j1[i] != j2[i] {
+			t.Fatalf("seeded jitter not deterministic: %v vs %v", j1, j2)
+		}
+		if j1[i] > want[i] || j1[i] < want[i]/2 {
+			t.Fatalf("jittered sleep %v outside [%v, %v]", j1[i], want[i]/2, want[i])
+		}
+	}
+	// A different seed draws a different schedule.
+	j3 := schedule(0.5, 43)
+	same := true
+	for i := range j1 {
+		if j1[i] != j3[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical jitter schedules")
+	}
+}
+
+func TestRetryPolicyTypedExhaustion(t *testing.T) {
+	fake := fmt.Errorf("dead")
+	err := RetryPolicy{MaxRetries: 2}.Do(func() error { return fake }, nil)
+	if !errors.Is(err, ErrRetryExhausted) {
+		t.Fatalf("err=%v, want ErrRetryExhausted", err)
+	}
+	var re *RetryError
+	if !errors.As(err, &re) || re.Attempts != 3 || re.DeadlineUp {
+		t.Fatalf("RetryError = %+v, want 3 attempts without deadline", re)
+	}
+	if err := (RetryPolicy{MaxRetries: 2}).Do(func() error { return nil }, nil); err != nil {
+		t.Fatalf("success must not wrap: %v", err)
+	}
+}
+
+func TestRetryPolicyDeadlineCutsRetriesShort(t *testing.T) {
+	fake := fmt.Errorf("dead")
+	now := time.Unix(0, 0)
+	calls := 0
+	p := RetryPolicy{
+		MaxRetries: 100,
+		Backoff:    time.Second,
+		Deadline:   3 * time.Second,
+		Sleep:      func(d time.Duration) { now = now.Add(d) },
+		Now:        func() time.Time { return now },
+	}
+	err := p.Do(func() error { calls++; return fake }, nil)
+	if !errors.Is(err, ErrRetryExhausted) || !errors.Is(err, fake) {
+		t.Fatalf("err=%v, want both ErrRetryExhausted and the final error", err)
+	}
+	var re *RetryError
+	if !errors.As(err, &re) || !re.DeadlineUp {
+		t.Fatalf("RetryError = %+v, want deadline flavor", re)
+	}
+	// Sleeps 1s, 2s, then the 3s budget is spent: 3 attempts, not 101.
+	if calls != 3 {
+		t.Fatalf("made %d attempts under a 3s deadline with 1s base backoff, want 3", calls)
 	}
 }
 
@@ -247,7 +337,8 @@ func TestEngineWithoutFaultToleranceStillFailsFast(t *testing.T) {
 
 func TestHealthString(t *testing.T) {
 	for h, want := range map[Health]string{
-		HealthOK: "ok", HealthDegradedDiff: "degraded-diff", HealthDegraded: "degraded", Health(9): "Health(9)",
+		HealthOK: "ok", HealthDegradedPeer: "degraded-peer", HealthDegradedDiff: "degraded-diff",
+		HealthDegraded: "degraded", Health(9): "Health(9)",
 	} {
 		if h.String() != want {
 			t.Errorf("Health(%d).String() = %q, want %q", h, h.String(), want)

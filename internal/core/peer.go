@@ -1,0 +1,438 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"lowdiff/internal/checkpoint"
+	"lowdiff/internal/comm"
+	"lowdiff/internal/compress"
+	"lowdiff/internal/model"
+	"lowdiff/internal/obs"
+	"lowdiff/internal/optim"
+	"lowdiff/internal/tensor"
+)
+
+// Peer-replicated differentials (Checkmate-style): the merged compressed
+// gradient every worker receives from the all-gather is retained in a
+// bounded per-peer ring window instead of discarded after the update, so
+// the cluster's collective memory already holds the last W differentials —
+// for free. Snapshots are therefore storage-write-free: only the periodic
+// full checkpoint touches the store, and recovery chains any surviving
+// peer's window onto it (recovery.FromPeers).
+//
+// When surviving windows cannot cover the chain since the last full
+// (crashed workers, corrupt or dropped payloads), the engine degrades to
+// HealthDegradedPeer, persists a fresh full base, and falls back to the
+// storage-differential path — the same batched writer, retry ladder, and
+// degradation rungs the DP strategy uses. At the next scheduled full that
+// lands while at least one peer survives (and the window can span a full
+// period), the peer plane is re-validated and health climbs back to OK.
+
+// initPeer validates the peer-replication options and wires the
+// peerTopology / peerSnapshotter pair.
+func (e *Engine) initPeer() error {
+	opts := e.opts
+	if opts.Workers < 1 {
+		return fmt.Errorf("core: %d workers; need at least 1", opts.Workers)
+	}
+	if opts.FullEvery < 1 {
+		return fmt.Errorf("core: FullEvery %d must be >= 1", opts.FullEvery)
+	}
+	if opts.BatchSize < 1 {
+		return fmt.Errorf("core: BatchSize %d must be >= 1", opts.BatchSize)
+	}
+	if opts.RetainFulls < 0 {
+		return fmt.Errorf("core: RetainFulls %d must be >= 0", opts.RetainFulls)
+	}
+	if opts.FullEvery%opts.BatchSize != 0 {
+		return fmt.Errorf("core: FullEvery (%d) must be a multiple of BatchSize (%d) so batches never straddle a full checkpoint",
+			opts.FullEvery, opts.BatchSize)
+	}
+	if opts.Codec == "randk" && opts.Workers > 1 {
+		return fmt.Errorf("core: randk selects different indices per worker; use topk or identity for multi-worker runs")
+	}
+	if opts.Store == nil {
+		return fmt.Errorf("core: the Peer strategy needs a store for its periodic full checkpoints")
+	}
+	if opts.NaiveDC {
+		return fmt.Errorf("core: NaiveDC checkpoints state deltas, which peers never receive; it is incompatible with the Peer strategy")
+	}
+	if opts.Peer.Window < 1 {
+		return fmt.Errorf("core: peer window depth %d must be >= 1", opts.Peer.Window)
+	}
+	if err := e.initDPWorkers(); err != nil {
+		return err
+	}
+	var chaos *comm.Chaos
+	if opts.Peer.Chaos != nil {
+		cfg := *opts.Peer.Chaos
+		if cfg.Events == nil {
+			cfg.Events = opts.Events
+		}
+		c, err := comm.NewChaos(cfg)
+		if err != nil {
+			return err
+		}
+		chaos = c
+	}
+	peers, err := comm.NewPeers(opts.Workers, opts.Peer.Window, chaos)
+	if err != nil {
+		return err
+	}
+	e.peers = peers
+	if !opts.DisableDiffs {
+		// The batched writer backs the storage fallback path; while the
+		// peer plane is healthy it never sees a single write.
+		if err := e.newWriter(checkpoint.KindGradient); err != nil {
+			return err
+		}
+	}
+	e.tag = "peer"
+	snap := &peerSnapshotter{e: e}
+	e.topo = &peerTopology{e: e}
+	e.snap = snap
+	return nil
+}
+
+// Peers exposes the peer-replication plane (nil unless the Peer strategy
+// is selected) for recovery and inspection.
+func (e *Engine) Peers() *comm.Peers { return e.peers }
+
+// PeerFallbackActive reports whether the engine is currently on the
+// storage-differential fallback path.
+func (e *Engine) PeerFallbackActive() bool { return e.peerFallback.Load() }
+
+// peerTopology runs Workers data-parallel ranks whose received gradients
+// are retained in peer windows.
+type peerTopology struct {
+	e *Engine
+}
+
+func (d *peerTopology) ranks() int      { return d.e.opts.Workers }
+func (d *peerTopology) rankKey() string { return "workers" }
+func (d *peerTopology) begin(*runCtx)   {}
+func (d *peerTopology) end(*runCtx)     {}
+
+func (d *peerTopology) registerMetrics(reg *obs.Registry) {
+	e := d.e
+	reg.FuncGauge("engine.iter", func() float64 { return float64(e.live.Load()) })
+	reg.FuncGauge("engine.health", func() float64 { return float64(e.Health()) })
+	reg.FuncGauge("engine.workers", func() float64 { return float64(e.opts.Workers) })
+}
+
+func (d *peerTopology) newRank(rc *runCtx, w int) rankRunner {
+	e := d.e
+	return &peerRank{
+		e: e,
+		w: w,
+		p: e.params[w],
+		o: e.opts2[w],
+		g: tensor.New(e.opts.Spec.NumParams()),
+	}
+}
+
+// peerRank is one peer-replicated worker's per-iteration state.
+type peerRank struct {
+	e *Engine
+	w int
+	p *model.Params
+	o optim.Optimizer
+	g tensor.Vector
+}
+
+func (r *peerRank) step(rc *runCtx, t int64) error {
+	e, w := r.e, r.w
+	var iterDone func()
+	if w == 0 {
+		e.live.Store(t)
+		if t%int64(e.opts.FullEvery) == 0 {
+			e.events.Emit("train.milestone", map[string]any{"iter": t})
+		}
+		iterDone = e.opts.Trace.Begin("train", "iteration",
+			map[string]interface{}{"iter": t})
+	}
+	// Backward pass.
+	if err := e.oracle.Local(r.p.Flat, w, int(t), r.g); err != nil {
+		return err
+	}
+	// Compress.
+	local, err := e.comps[w].Compress(r.g)
+	if err != nil {
+		return err
+	}
+	// Synchronize.
+	var syncDone func()
+	if w == 0 {
+		syncDone = e.opts.Trace.Begin("train", "sync", nil)
+	}
+	synced, err := e.group.AllGatherSparse(w, local)
+	if w == 0 {
+		syncDone()
+	}
+	if err != nil {
+		return err
+	}
+	// Reuse: the received differential is already in this peer's memory —
+	// retaining it in the window IS the per-iteration checkpoint. Zero
+	// storage writes (the paper's gradient reuse taken to its Checkmate
+	// conclusion).
+	if err := e.peers.Retain(w, t, synced); err != nil {
+		return err
+	}
+	// Decompress + update (StepSparse fuses the two).
+	if err := applyCompressed(r.o, r.p.Flat, synced, e.pool); err != nil {
+		return err
+	}
+	if w == 0 {
+		iterDone()
+	}
+	// Worker 0 makes the checkpoint decision after a barrier, so every
+	// survivor's window already holds iteration t when coverage is
+	// checked — deterministic regardless of goroutine scheduling.
+	if err := e.group.Barrier(w); err != nil {
+		return err
+	}
+	if w != 0 {
+		return nil
+	}
+	return r.checkpointStep(rc, t, synced)
+}
+
+// checkpointStep is worker 0's per-iteration checkpoint decision: inline
+// full persists at boundaries (and on fallback demand), peer-window
+// coverage validation, fallback engagement, and re-promotion.
+func (r *peerRank) checkpointStep(rc *runCtx, t int64, synced *compress.Compressed) error {
+	e := r.e
+	fallbackFull := e.needFull.CompareAndSwap(true, false)
+	scheduled := t%int64(e.opts.FullEvery) == 0
+	if scheduled || fallbackFull {
+		// Synchronous persist: the peer plane's coverage base must be
+		// durable before the window is allowed to slide past it.
+		if err := r.persistInlineFull(t); err != nil {
+			return err
+		}
+	}
+	if scheduled {
+		e.maybeRestorePeer(t)
+	}
+	if e.peerFallback.Load() {
+		// Storage-differential fallback: hand the synchronized gradient
+		// to the batched writer, exactly the DP path.
+		if rc.queue != nil {
+			return rc.queue.Put(Item{Iter: t, Layer: -1, Grad: synced})
+		}
+		return nil
+	}
+	// Peer plane healthy: verify some surviving window still covers the
+	// chain since the last durable full.
+	base := e.lastFullIter.Load()
+	if base >= 0 && e.peers.Covered(base, t) {
+		return nil
+	}
+	// Coverage broken — too many crashes, or drops/corruption punched a
+	// hole the window cannot bridge. Degrade explicitly and fall back to
+	// the storage path on a fresh base.
+	e.degradeTo(HealthDegradedPeer)
+	e.peerFallbacks.Inc()
+	e.events.Emit("peer.fallback", e.fields(map[string]any{
+		"iter": t, "base": base, "survivors": len(e.peers.Survivors()),
+	}))
+	if e.lastFullIter.Load() != t {
+		if err := r.persistInlineFull(t); err != nil {
+			return err
+		}
+	}
+	e.peerFallback.Store(true)
+	return nil
+}
+
+// persistInlineFull snapshots worker 0's state and persists it through the
+// shared retry/health ladder, synchronously on the trainer.
+func (r *peerRank) persistInlineFull(t int64) error {
+	e := r.e
+	var full *checkpoint.Full
+	e.FullSnapshotTimer.Time(func() {
+		full = &checkpoint.Full{
+			Iter:   t,
+			Params: r.p.Flat.Clone(),
+			Opt:    r.o.Snapshot(),
+		}
+	})
+	return e.persistFull(full)
+}
+
+// maybeRestorePeer re-validates the peer plane after a scheduled full
+// landed at iteration t: with a durable base at t, at least one survivor,
+// and a window deep enough to span a full period, per-iteration coverage
+// is guaranteed going forward, so the engine leaves the storage fallback
+// and climbs back to HealthOK. Deeper degradation rungs (diff or full
+// writes failing) must heal through their own paths first.
+func (e *Engine) maybeRestorePeer(t int64) {
+	if !e.peerFallback.Load() || e.lastFullIter.Load() != t {
+		return
+	}
+	if e.opts.Peer.Window < e.opts.FullEvery {
+		return // the window cannot span a full period: stay on storage
+	}
+	if len(e.peers.Survivors()) == 0 {
+		return // nobody left to hold the replicas
+	}
+	if t > 0 && !e.peers.Covered(t-1, t) {
+		return // retains are still failing (drops/corruption): stay on storage
+	}
+	if e.Health() != HealthDegradedPeer {
+		return
+	}
+	e.peerFallback.Store(false)
+	if e.health.CompareAndSwap(int32(HealthDegradedPeer), int32(HealthOK)) {
+		e.faults.Recoveries.Inc()
+		e.peerRestores.Inc()
+		e.events.Emit("health.recover", map[string]any{"to": HealthOK.String()})
+		e.events.Emit("peer.restore", e.fields(map[string]any{
+			"iter": t, "survivors": len(e.peers.Survivors()),
+		}))
+	}
+}
+
+// peerSnapshotter owns the storage fallback path: a queue-fed consumer
+// that stays dormant (dropping nothing but its own open batches) while the
+// peer plane is healthy and runs the standard batched differential chain
+// while the fallback is engaged.
+type peerSnapshotter struct {
+	e  *Engine
+	wg sync.WaitGroup
+}
+
+func (s *peerSnapshotter) begin(rc *runCtx) error {
+	e := s.e
+	if e.writer == nil {
+		return nil
+	}
+	q, err := NewReusingQueue(e.opts.QueueCap)
+	if err != nil {
+		return err
+	}
+	rc.queue = q
+	e.registerQueueMetrics(q)
+	s.wg.Add(1)
+	go s.consumeFallbackDiffs(rc)
+	return nil
+}
+
+func (s *peerSnapshotter) initialFull(rc *runCtx) error {
+	// Synchronous: the peer plane's coverage base must exist before the
+	// first coverage check at iteration 1.
+	e := s.e
+	var full *checkpoint.Full
+	e.FullSnapshotTimer.Time(func() {
+		full = &checkpoint.Full{
+			Iter:   0,
+			Params: e.params[0].Flat.Clone(),
+			Opt:    e.opts2[0].Snapshot(),
+		}
+	})
+	return e.persistFull(full)
+}
+
+func (s *peerSnapshotter) end(rc *runCtx) {
+	if rc.queue != nil {
+		rc.queue.Close()
+	}
+	s.wg.Wait()
+}
+
+func (s *peerSnapshotter) runEndFields(stats *RunStats) map[string]any {
+	e := s.e
+	return map[string]any{
+		"iter": e.iter, "diff_writes": stats.DiffWrites, "full_writes": stats.FullWrites,
+		"peer_fallback": e.peerFallback.Load(), "survivors": len(e.peers.Survivors()),
+		"window_occupancy": e.peers.MinOccupancy(),
+	}
+}
+
+func (s *peerSnapshotter) registerMetrics(reg *obs.Registry) {
+	e := s.e
+	e.registerChainMetrics(reg)
+	p := e.peers
+	reg.FuncGauge("peer.window.depth", func() float64 { return float64(p.Depth()) })
+	reg.FuncGauge("peer.window.occupancy", func() float64 { return float64(p.MinOccupancy()) })
+	reg.FuncGauge("peer.survivors", func() float64 { return float64(len(p.Survivors())) })
+	reg.FuncCounter("peer.fallbacks", e.peerFallbacks.Value)
+	reg.FuncCounter("peer.restores", e.peerRestores.Value)
+	reg.FuncCounter("peer.chaos.crashes", func() int64 { return p.ChaosCounters().Crashes })
+	reg.FuncCounter("peer.chaos.drops", func() int64 { return p.ChaosCounters().Drops })
+	reg.FuncCounter("peer.chaos.corruptions", func() int64 { return p.ChaosCounters().Corruptions })
+}
+
+// consumeFallbackDiffs drains the queue for the storage fallback: dormant
+// while the peer plane is healthy (abandoning any open batch, so zero
+// storage writes), and the standard suspended-until-fresh-base batched
+// chain while the fallback is engaged.
+func (s *peerSnapshotter) consumeFallbackDiffs(rc *runCtx) {
+	defer s.wg.Done()
+	e := s.e
+	broken := false
+	suspended := true // the chain only starts after a fallback base lands
+	onDiffFailure := func(iter int64) {
+		e.faults.DiffFailures.Inc()
+		e.writer.Drop()
+		suspended = true
+		e.degradeTo(HealthDegradedDiff)
+		e.faults.FullFallbacks.Inc()
+		e.events.Emit("ckpt.diff.fallback", e.fields(map[string]any{"iter": iter}))
+		e.needFull.Store(true)
+	}
+	for {
+		it, err := rc.queue.Get()
+		if err != nil {
+			return // closed and drained
+		}
+		if broken {
+			continue // drain so producers never block on a dead sink
+		}
+		if !e.peerFallback.Load() {
+			// Peer plane healthy (again): the chain is dead weight.
+			// Abandon any open batch and wait for the next fallback's
+			// fresh base.
+			e.writer.Drop()
+			suspended = true
+			continue
+		}
+		if suspended {
+			// Only the first gradient after a freshly persisted full can
+			// start the fallback chain; everything else is dropped.
+			if e.Health() == HealthDegraded || it.Iter != e.lastFullIter.Load()+1 {
+				e.faults.DroppedDiffs.Inc()
+				e.events.Emit("ckpt.diff.drop", e.fields(map[string]any{"iter": it.Iter}))
+				continue
+			}
+			suspended = false
+		}
+		writeDone := e.opts.Trace.Begin("checkpoint", "diff-add",
+			map[string]interface{}{"iter": it.Iter})
+		err = e.writer.Add(it.Iter, it.Grad)
+		writeDone()
+		if err != nil {
+			if e.ft == nil {
+				rc.errCh <- err
+				broken = true
+			} else {
+				onDiffFailure(it.Iter)
+			}
+			continue
+		}
+		// Cut batches at full-checkpoint boundaries so a batch never
+		// straddles the recovery base.
+		if it.Iter%int64(e.opts.FullEvery) == 0 {
+			if err := e.writer.Cut(); err != nil {
+				if e.ft == nil {
+					rc.errCh <- err
+					broken = true
+				} else {
+					onDiffFailure(it.Iter)
+				}
+			}
+		}
+	}
+}

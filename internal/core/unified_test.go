@@ -304,6 +304,7 @@ func TestMetricNameSetsGolden(t *testing.T) {
 			"ckpt.full.writes",
 			"engine.health",
 			"engine.iter",
+			"engine.retry.backoff",
 			"engine.workers",
 			"fault.degradations",
 			"fault.diff_failures",

@@ -12,7 +12,7 @@ func TestRegistryComplete(t *testing.T) {
 	want := []string{
 		"fig1a", "fig1b", "table1",
 		"exp1", "exp2", "exp3", "exp4", "exp5", "exp6a", "exp6b", "exp7", "exp8", "exp9", "exp10",
-		"func-train", "func-recovery", "func-batch", "func-storage", "func-pp",
+		"func-train", "func-recovery", "func-batch", "func-storage", "func-pp", "func-peer",
 		"ablation-batch", "ablation-queue", "ablation-recovery", "ablation-ef",
 	}
 	have := map[string]bool{}
@@ -374,7 +374,7 @@ func TestFunctionalExperiments(t *testing.T) {
 	if testing.Short() {
 		t.Skip("functional experiments are slower")
 	}
-	for _, id := range []string{"func-train", "func-recovery", "func-batch", "func-storage", "func-pp"} {
+	for _, id := range []string{"func-train", "func-recovery", "func-batch", "func-storage", "func-pp", "func-peer"} {
 		runExp(t, id)
 	}
 }

@@ -56,6 +56,19 @@ func exp3Plan(w cluster.Workload, s cluster.Strategy, mtbf float64) (cluster.Pla
 	switch s {
 	case cluster.LowDiff:
 		return lowDiffOptimalPlan(w, mtbf)
+	case cluster.LowDiffPeer:
+		// Same optimal full-checkpoint interval as LowDiff; differentials
+		// ride the peer windows instead of batched store writes.
+		p, err := lowDiffOptimalPlan(w, mtbf)
+		if err != nil {
+			return cluster.Plan{}, err
+		}
+		return cluster.Plan{
+			Strategy:  cluster.LowDiffPeer,
+			Interval:  1,
+			FullEvery: p.FullEvery,
+			Window:    p.FullEvery,
+		}, nil
 	case cluster.CheckFreq:
 		return cluster.Plan{Strategy: s, Interval: 10}, nil
 	case cluster.TorchSave:
@@ -93,7 +106,7 @@ func exp3() (*Table, error) {
 	t := &Table{
 		ID:     "exp3",
 		Title:  "Wasted time (h) on GPT2-S under failures (60k-iteration job)",
-		Header: []string{"MTBF", "NaiveDC", "CheckFreq", "Gemini", "LowDiff", "LowDiff+(S)", "LowDiff+(H)"},
+		Header: []string{"MTBF", "NaiveDC", "CheckFreq", "Gemini", "LowDiff", "LowDiff+(S)", "LowDiff+(H)", "LowDiff-Peer"},
 	}
 	for _, mtbfH := range []float64{0.5, 1, 2} {
 		mtbf := mtbfH * 3600
@@ -104,6 +117,7 @@ func exp3() (*Table, error) {
 		}{
 			{cluster.NaiveDC, false}, {cluster.CheckFreq, false}, {cluster.Gemini, false},
 			{cluster.LowDiff, false}, {cluster.LowDiffPlusS, false}, {cluster.LowDiffPlusS, true},
+			{cluster.LowDiffPeer, true},
 		} {
 			plan, err := exp3Plan(w, c.s, mtbf)
 			if err != nil {
@@ -137,12 +151,12 @@ func exp9() (*Table, error) {
 	t := &Table{
 		ID:     "exp9",
 		Title:  "Effective training time ratio vs MTBF (GPT2-S, V100)",
-		Header: []string{"MTBF", "TorchSave", "CheckFreq", "Gemini", "LowDiff", "LowDiff+"},
+		Header: []string{"MTBF", "TorchSave", "CheckFreq", "Gemini", "LowDiff", "LowDiff+", "LowDiff-Peer"},
 	}
 	for _, mtbfH := range []float64{0.1, 0.3, 0.5, 1, 2, 5} {
 		mtbf := mtbfH * 3600
 		row := []string{fmt.Sprintf("%.1fh", mtbfH)}
-		for _, s := range []cluster.Strategy{cluster.TorchSave, cluster.CheckFreq, cluster.Gemini, cluster.LowDiff, cluster.LowDiffPlusS} {
+		for _, s := range []cluster.Strategy{cluster.TorchSave, cluster.CheckFreq, cluster.Gemini, cluster.LowDiff, cluster.LowDiffPlusS, cluster.LowDiffPeer} {
 			plan, err := exp3Plan(w, s, mtbf)
 			if err != nil {
 				return nil, err
@@ -174,13 +188,13 @@ func exp10() (*Table, error) {
 	t := &Table{
 		ID:     "exp10",
 		Title:  "Effective training time ratio vs GPU count (GPT2-S, V100)",
-		Header: []string{"GPUs", "TorchSave", "CheckFreq", "Gemini", "LowDiff", "LowDiff+"},
+		Header: []string{"GPUs", "TorchSave", "CheckFreq", "Gemini", "LowDiff", "LowDiff+", "LowDiff-Peer"},
 	}
 	for _, gpus := range []int{8, 16, 32, 64} {
 		w := cluster.Workload{Spec: spec, HW: timemodel.V100(), Workers: gpus, Rho: 0.01}
 		mtbf := baseMTBF8 * 8 / float64(gpus)
 		row := []string{fmt.Sprintf("%d", gpus)}
-		for _, s := range []cluster.Strategy{cluster.TorchSave, cluster.CheckFreq, cluster.Gemini, cluster.LowDiff, cluster.LowDiffPlusS} {
+		for _, s := range []cluster.Strategy{cluster.TorchSave, cluster.CheckFreq, cluster.Gemini, cluster.LowDiff, cluster.LowDiffPlusS, cluster.LowDiffPeer} {
 			plan, err := exp3Plan(w, s, mtbf)
 			if err != nil {
 				return nil, err

@@ -98,6 +98,10 @@ func DefaultConfig() *Config {
 			"lowdiff/internal/checkpoint",
 			"lowdiff/internal/obs",
 			"lowdiff/internal/core",
+			// Peer windows and chaos injection must replay identically from a
+			// seed: crash schedules, drop/corrupt draws, and window eviction
+			// order all feed the seeded chaos-matrix CI job.
+			"lowdiff/internal/comm",
 			// The parallel data plane promises bit-identical results at any
 			// worker count; map iteration or wall-clock/global-rand reads in
 			// its shard or combine paths would silently break that.

@@ -112,7 +112,7 @@ func TestHealthzFollowsFaultLadder(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, want := range []string{"engine_health 2", "fault_degradations", "fault_diff_failures"} {
+	for _, want := range []string{"engine_health 3", "fault_degradations", "fault_diff_failures"} {
 		if !strings.Contains(string(metrics), want) {
 			t.Fatalf("scrape missing %q:\n%s", want, metrics)
 		}

@@ -1,0 +1,215 @@
+package recovery
+
+import (
+	"fmt"
+	"testing"
+
+	"lowdiff/internal/core"
+	"lowdiff/internal/model"
+	"lowdiff/internal/storage"
+)
+
+// trainPeer runs a peer-strategy engine one iteration at a time, recording
+// the live parameter trajectory, and returns the engine (whose windows the
+// peer-recovery tests read) alongside the backing store.
+func trainPeer(tb testing.TB, workers, fullEvery, window, iters int) (*core.Engine, storage.Store, map[int64][]float32) {
+	tb.Helper()
+	store := storage.NewMem()
+	e, err := core.NewEngine(core.Options{
+		Spec: model.Tiny(2, 16), Workers: workers, Optimizer: "sgd", LR: 0.05,
+		Rho: 0.3, Store: store, FullEvery: fullEvery, Seed: 77,
+		Peer: &core.PeerSpec{Window: window},
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	traj := map[int64][]float32{0: append([]float32(nil), e.Params()...)}
+	for i := 0; i < iters; i++ {
+		if _, err := e.Run(1); err != nil {
+			tb.Fatal(err)
+		}
+		traj[e.Iter()] = append([]float32(nil), e.Params()...)
+	}
+	if err := e.Flush(); err != nil {
+		tb.Fatal(err)
+	}
+	return e, store, traj
+}
+
+// FromPeers must chain the surviving windows onto the newest stored full
+// and land bit-exactly on the live state.
+func TestFromPeersExtendsStorageState(t *testing.T) {
+	e, store, traj := trainPeer(t, 2, 4, 8, 10)
+	st, rep, err := FromPeers(store, e.Peers(), ValidateOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Iter != 10 {
+		t.Fatalf("recovered to %d, want 10", st.Iter)
+	}
+	assertBitExact(t, st, traj)
+	// Storage holds fulls 0/4/8 only (zero diff writes); iterations 9 and
+	// 10 must have come from a window.
+	if rep.StorageIter != 8 || rep.PeerRank < 0 || rep.PeerDiffs != 2 {
+		t.Fatalf("report = %+v, want storage iter 8 + 2 peer diffs", rep)
+	}
+}
+
+// A nil peer plane degrades FromPeers to plain LatestValid — the explicit
+// signal is PeerRank == -1.
+func TestFromPeersWithoutPeersIsLatestValid(t *testing.T) {
+	_, store, traj := trainPeer(t, 1, 4, 8, 10)
+	st, rep, err := FromPeers(store, nil, ValidateOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Iter != 8 || rep.PeerRank != -1 || rep.StorageIter != 8 {
+		t.Fatalf("st.Iter=%d report=%+v, want storage-only recovery to 8", st.Iter, rep)
+	}
+	assertBitExact(t, st, traj)
+}
+
+// When every window is gone (all peers crashed), FromPeers stops at the
+// storage state rather than failing.
+func TestFromPeersAllWindowsCrashed(t *testing.T) {
+	e, store, traj := trainPeer(t, 2, 4, 8, 10)
+	e.Peers().Crash(0)
+	e.Peers().Crash(1)
+	st, rep, err := FromPeers(store, e.Peers(), ValidateOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Iter != 8 || rep.PeerRank != -1 {
+		t.Fatalf("st.Iter=%d PeerRank=%d, want storage state 8 with no peer extension", st.Iter, rep.PeerRank)
+	}
+	assertBitExact(t, st, traj)
+}
+
+// A window that can no longer produce a valid chain must not extend
+// recovery: FromPeers falls to the next-best peer.
+func TestFromPeersSkipsEmptiedWindow(t *testing.T) {
+	e, store, traj := trainPeer(t, 2, 4, 8, 10)
+	// Rank 0's memory is gone (crashed and wiped); rank 1 stays intact.
+	e.Peers().Window(0).Clear()
+	st, rep, err := FromPeers(store, e.Peers(), ValidateOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Iter != 10 || rep.PeerRank != 1 {
+		t.Fatalf("st.Iter=%d PeerRank=%d, want 10 via the clean rank 1", st.Iter, rep.PeerRank)
+	}
+	assertBitExact(t, st, traj)
+}
+
+// FuzzLatestValid throws shuffled, truncated, duplicated, and corrupted
+// checkpoint stores at the validator, then chains peer-window restores on
+// top. The invariant under every mutation: recovery either fails with an
+// explicit error or lands bit-exactly on the recorded trajectory — never
+// on a silently wrong state — and the peer extension only ever moves the
+// recovered iteration forward, also staying on the trajectory.
+func FuzzLatestValid(f *testing.F) {
+	const iters = 12
+	e, store, traj := trainPeer(f, 2, 4, 8, iters)
+	// Snapshot the clean store; every fuzz case mutates a fresh copy.
+	var names []string
+	base := map[string][]byte{}
+	for _, prefix := range []string{"full-", "diff-"} {
+		got, err := store.List(prefix)
+		if err != nil {
+			f.Fatal(err)
+		}
+		for _, name := range got {
+			data, err := storage.ReadObject(store, name)
+			if err != nil {
+				f.Fatal(err)
+			}
+			base[name] = data
+			names = append(names, name)
+		}
+	}
+	if len(names) == 0 {
+		f.Fatal("seed store is empty")
+	}
+	f.Add([]byte{0, 0, 0})             // delete the first object
+	f.Add([]byte{1, 1, 10, 2, 2, 200}) // truncate + bit flip
+	f.Add([]byte{3, 0, 1, 3, 2, 0})    // cross-copy contents (name/content mismatch)
+	f.Add([]byte{4, 1, 7, 4, 0, 33})   // duplicate under synthetic names
+	f.Add([]byte{2, 0, 5, 0, 1, 0, 1, 2, 3, 3, 1, 2})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		mem := storage.NewMem()
+		for name, d := range base {
+			if err := storage.WriteObject(mem, name, append([]byte(nil), d...)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Decode the mutation stream: op, target index, argument.
+		for i := 0; i+2 < len(data); i += 3 {
+			op, idx, arg := data[i]%5, int(data[i+1])%len(names), int(data[i+2])
+			name := names[idx]
+			obj, err := storage.ReadObject(mem, name)
+			if storage.IsNotExist(err) {
+				continue // already deleted by an earlier op
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(obj) == 0 && (op == 1 || op == 2) {
+				continue
+			}
+			switch op {
+			case 0:
+				if err := mem.Delete(name); err != nil {
+					t.Fatal(err)
+				}
+			case 1: // truncate (torn write)
+				if err := storage.WriteObject(mem, name, obj[:arg%len(obj)]); err != nil {
+					t.Fatal(err)
+				}
+			case 2: // durable bit flip
+				obj[arg%len(obj)] ^= 1 << (arg % 8)
+				if err := storage.WriteObject(mem, name, obj); err != nil {
+					t.Fatal(err)
+				}
+			case 3: // shuffle: this object's bytes under another chain name
+				if err := storage.WriteObject(mem, names[arg%len(names)], obj); err != nil {
+					t.Fatal(err)
+				}
+			case 4: // duplicate under a synthetic canonical name
+				n := int64(arg % (iters + 3))
+				dup := fmt.Sprintf("full-%012d.ckpt", n)
+				if name[0] == 'd' {
+					dup = fmt.Sprintf("diff-%012d-%012d.ckpt", n, n)
+				}
+				if err := storage.WriteObject(mem, dup, obj); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+
+		quarantine := len(data) > 0 && data[0]&1 == 1
+		st, rep, err := LatestValid(mem, ValidateOptions{Quarantine: quarantine})
+		if err != nil {
+			return // explicit failure (e.g. no valid full) is a legal outcome
+		}
+		assertBitExact(t, st, traj)
+		if st.Iter != rep.RecoverableIter {
+			t.Fatalf("state iter %d != reported recoverable %d", st.Iter, rep.RecoverableIter)
+		}
+
+		// Peer-window restore on top of the mutated store: the extension
+		// may only move forward, and must stay on the trajectory.
+		pst, prep, err := FromPeers(mem, e.Peers(), ValidateOptions{})
+		if err != nil {
+			return
+		}
+		assertBitExact(t, pst, traj)
+		if pst.Iter < prep.StorageIter {
+			t.Fatalf("peer recovery went backward: %d < storage %d", pst.Iter, prep.StorageIter)
+		}
+		if prep.PeerRank >= 0 && pst.Iter != iters {
+			t.Fatalf("window extension engaged (rank %d) but stopped at %d, want %d",
+				prep.PeerRank, pst.Iter, iters)
+		}
+	})
+}

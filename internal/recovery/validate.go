@@ -184,6 +184,13 @@ func LatestValid(store storage.Store, opts ValidateOptions) (*State, *Report, er
 	for i := len(m.Fulls) - 1; i >= 0; i-- {
 		e := m.Fulls[i]
 		f, status, err := loadFull(store, e.Name, opts.LoadRetries)
+		if status == StatusValid && f.Iter != e.Iter {
+			// A decodable object whose content belongs to a different
+			// iteration than its name claims (a misplaced copy, a rename
+			// gone wrong) would replay the wrong state — damage, not data.
+			status, err, f = StatusCorrupt,
+				fmt.Errorf("recovery: %s decodes to iteration %d, name says %d", e.Name, f.Iter, e.Iter), nil
+		}
 		if status == StatusValid {
 			full, base = f, e
 			report.Objects = append(report.Objects, ObjectReport{Name: e.Name, IsFull: true, Status: StatusValid})
@@ -209,6 +216,13 @@ func LatestValid(store storage.Store, opts ValidateOptions) (*State, *Report, er
 	var diffs []*checkpoint.Diff
 	for _, e := range chain {
 		d, status, err := loadDiff(store, e.Name, opts.LoadRetries)
+		if status == StatusValid && (d.FirstIter != e.FirstIter || d.LastIter != e.LastIter) {
+			// Name/content mismatch: applying this payload would step the
+			// optimizer with another iteration's gradient. Truncate here.
+			status, err = StatusCorrupt,
+				fmt.Errorf("recovery: %s decodes to range [%d,%d], name says [%d,%d]",
+					e.Name, d.FirstIter, d.LastIter, e.FirstIter, e.LastIter)
+		}
 		report.Objects = append(report.Objects, ObjectReport{Name: e.Name, Status: status, Err: err})
 		if status != StatusValid {
 			if opts.Quarantine && status == StatusCorrupt {
@@ -249,7 +263,11 @@ func Verify(store storage.Store, opts ValidateOptions) (*Report, error) {
 	}
 	fullValid := make(map[string]bool, len(m.Fulls))
 	for _, e := range m.Fulls {
-		_, status, err := loadFull(store, e.Name, opts.LoadRetries)
+		f, status, err := loadFull(store, e.Name, opts.LoadRetries)
+		if status == StatusValid && f.Iter != e.Iter {
+			status, err = StatusCorrupt,
+				fmt.Errorf("recovery: %s decodes to iteration %d, name says %d", e.Name, f.Iter, e.Iter)
+		}
 		fullValid[e.Name] = status == StatusValid
 		r := ObjectReport{Name: e.Name, IsFull: true, Status: status}
 		if status != StatusValid {
@@ -259,7 +277,12 @@ func Verify(store storage.Store, opts ValidateOptions) (*Report, error) {
 	}
 	diffValid := make(map[string]bool, len(m.Diffs))
 	for _, e := range m.Diffs {
-		_, status, err := loadDiff(store, e.Name, opts.LoadRetries)
+		d, status, err := loadDiff(store, e.Name, opts.LoadRetries)
+		if status == StatusValid && (d.FirstIter != e.FirstIter || d.LastIter != e.LastIter) {
+			status, err = StatusCorrupt,
+				fmt.Errorf("recovery: %s decodes to range [%d,%d], name says [%d,%d]",
+					e.Name, d.FirstIter, d.LastIter, e.FirstIter, e.LastIter)
+		}
 		diffValid[e.Name] = status == StatusValid
 		r := ObjectReport{Name: e.Name, Status: status}
 		if status != StatusValid {

@@ -20,8 +20,9 @@ go vet ./...
 echo "== lowdifflint (determinism, checkederr, floateq, mutexcopy, deferunlock) =="
 go run ./cmd/lowdifflint ./...
 
-echo "== go test -race (core, storage, recovery, obs, data plane) =="
+echo "== go test -race (core, storage, recovery, obs, data plane, peer comm, cluster sim) =="
 go test -race ./internal/core/... ./internal/storage/... ./internal/recovery/... ./internal/obs/... \
-    ./internal/parallel/... ./internal/compress/... ./internal/checkpoint/... ./internal/comm/...
+    ./internal/parallel/... ./internal/compress/... ./internal/checkpoint/... ./internal/comm/... \
+    ./internal/cluster/...
 
 echo "all checks passed"

@@ -1,0 +1,100 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"lowdiff/internal/obs"
+)
+
+// benchgate compares a fresh benchmark run against a checked-in
+// BENCH_*.json baseline and reports allocation regressions. Only the
+// allocation metrics are gated: allocs/op and B/op are deterministic for
+// a fixed workload (unlike ns/op, which varies with the machine), so a
+// regression means a code change re-introduced allocations on a path the
+// baseline had already tightened.
+
+// GateViolation is one benchmark metric that exceeded its baseline by
+// more than the allowed slack.
+type GateViolation struct {
+	Name   string  // benchmark name, proc suffix stripped
+	Metric string  // "allocs/op" or "B/op"
+	Base   float64 // checked-in baseline value
+	Got    float64 // value from the fresh run
+	Slack  float64 // allowed fractional headroom
+}
+
+func (v GateViolation) String() string {
+	if v.Metric == "missing" {
+		return fmt.Sprintf("%s: gated benchmark missing from this run", v.Name)
+	}
+	return fmt.Sprintf("%s: %s regressed: %.0f > %.0f (baseline %.0f + %.0f%% slack)",
+		v.Name, v.Metric, v.Got, v.Base*(1+v.Slack), v.Base, v.Slack*100)
+}
+
+// ReadBenchJSON decodes a BENCH_*.json baseline written by
+// obs.WriteBenchJSON.
+func ReadBenchJSON(r io.Reader) (map[string]obs.BenchResult, error) {
+	var doc struct {
+		Benchmarks map[string]obs.BenchResult `json:"benchmarks"`
+	}
+	if err := json.NewDecoder(r).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("obs: reading bench baseline: %w", err)
+	}
+	if len(doc.Benchmarks) == 0 {
+		return nil, fmt.Errorf("obs: bench baseline has no benchmarks")
+	}
+	return doc.Benchmarks, nil
+}
+
+// GateAllocs checks every baseline benchmark whose name contains match
+// (empty matches all) against the fresh run: allocs/op and B/op may not
+// exceed baseline*(1+slack). Baseline metrics recorded as zero are not
+// gated (the baseline run did not measure them), and baseline benchmarks
+// absent from the fresh run are reported as violations — a gate that
+// silently skips its target benchmark gates nothing. Violations come back
+// sorted by name for stable output.
+func GateAllocs(base, got map[string]obs.BenchResult, match string, slack float64) []GateViolation {
+	names := make([]string, 0, len(base))
+	for name := range base {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var out []GateViolation
+	for _, name := range names {
+		b := base[name]
+		if match != "" && !strings.Contains(name, match) {
+			continue
+		}
+		if b.AllocsPerOp == 0 && b.BytesPerOp == 0 {
+			continue // baseline has no allocation figures to hold
+		}
+		g, ok := got[name]
+		if !ok {
+			out = append(out, GateViolation{Name: name, Metric: "missing", Slack: slack})
+			continue
+		}
+		if b.AllocsPerOp > 0 && g.AllocsPerOp > b.AllocsPerOp*(1+slack) {
+			out = append(out, GateViolation{
+				Name: name, Metric: "allocs/op",
+				Base: b.AllocsPerOp, Got: g.AllocsPerOp, Slack: slack,
+			})
+		}
+		if b.BytesPerOp > 0 && g.BytesPerOp > b.BytesPerOp*(1+slack) {
+			out = append(out, GateViolation{
+				Name: name, Metric: "B/op",
+				Base: b.BytesPerOp, Got: g.BytesPerOp, Slack: slack,
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Name != out[j].Name {
+			return out[i].Name < out[j].Name
+		}
+		return out[i].Metric < out[j].Metric
+	})
+	return out
+}

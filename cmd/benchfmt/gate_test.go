@@ -1,0 +1,100 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"lowdiff/internal/obs"
+)
+
+func gateBase() map[string]obs.BenchResult {
+	return map[string]obs.BenchResult{
+		"BenchmarkMerge/pooled": {NsPerOp: 1000, BytesPerOp: 1000, AllocsPerOp: 20, Iterations: 10},
+		"BenchmarkMerge/serial": {NsPerOp: 2000, BytesPerOp: 4000, AllocsPerOp: 8, Iterations: 10},
+		"BenchmarkDecode/plain": {NsPerOp: 500, Iterations: 10}, // no allocation figures
+	}
+}
+
+func TestGateAllocsPasses(t *testing.T) {
+	got := gateBase()
+	// Faster and leaner than baseline, and well inside slack.
+	got["BenchmarkMerge/pooled"] = obs.BenchResult{NsPerOp: 900, BytesPerOp: 800, AllocsPerOp: 21, Iterations: 10}
+	if vs := GateAllocs(gateBase(), got, "", 0.25); len(vs) != 0 {
+		t.Fatalf("expected clean gate, got %v", vs)
+	}
+}
+
+func TestGateAllocsCatchesRegressions(t *testing.T) {
+	got := gateBase()
+	got["BenchmarkMerge/pooled"] = obs.BenchResult{NsPerOp: 900, BytesPerOp: 2000, AllocsPerOp: 80, Iterations: 10}
+	vs := GateAllocs(gateBase(), got, "", 0.25)
+	if len(vs) != 2 {
+		t.Fatalf("expected allocs/op and B/op violations, got %v", vs)
+	}
+	if vs[0].Metric != "B/op" || vs[1].Metric != "allocs/op" {
+		t.Fatalf("unexpected metrics order: %v", vs)
+	}
+	if !strings.Contains(vs[1].String(), "allocs/op regressed: 80 > 25") {
+		t.Fatalf("unexpected message: %s", vs[1])
+	}
+}
+
+func TestGateAllocsSlackBoundary(t *testing.T) {
+	got := gateBase()
+	// Exactly at the slack ceiling (20 * 1.25 = 25): allowed, not >.
+	got["BenchmarkMerge/pooled"] = obs.BenchResult{NsPerOp: 900, BytesPerOp: 1250, AllocsPerOp: 25, Iterations: 10}
+	if vs := GateAllocs(gateBase(), got, "", 0.25); len(vs) != 0 {
+		t.Fatalf("values at the slack ceiling must pass, got %v", vs)
+	}
+}
+
+func TestGateAllocsMatchFilter(t *testing.T) {
+	got := gateBase()
+	got["BenchmarkMerge/serial"] = obs.BenchResult{NsPerOp: 900, BytesPerOp: 40000, AllocsPerOp: 80, Iterations: 10}
+	if vs := GateAllocs(gateBase(), got, "pooled", 0.25); len(vs) != 0 {
+		t.Fatalf("filter should exclude the regressed serial benchmark, got %v", vs)
+	}
+	if vs := GateAllocs(gateBase(), got, "serial", 0.25); len(vs) != 2 {
+		t.Fatalf("filter should catch the serial regression, got %v", vs)
+	}
+}
+
+func TestGateAllocsMissingBenchmark(t *testing.T) {
+	got := gateBase()
+	delete(got, "BenchmarkMerge/pooled")
+	vs := GateAllocs(gateBase(), got, "pooled", 0.25)
+	if len(vs) != 1 || vs[0].Metric != "missing" {
+		t.Fatalf("a gated benchmark missing from the run must violate, got %v", vs)
+	}
+	if !strings.Contains(vs[0].String(), "missing from this run") {
+		t.Fatalf("unexpected message: %s", vs[0])
+	}
+}
+
+func TestGateAllocsUnmeasuredBaselineSkipped(t *testing.T) {
+	got := gateBase()
+	delete(got, "BenchmarkDecode/plain") // absent AND unmeasured in baseline
+	if vs := GateAllocs(gateBase(), got, "", 0.25); len(vs) != 0 {
+		t.Fatalf("baselines without allocation figures must not gate, got %v", vs)
+	}
+}
+
+func TestReadBenchJSONRoundTrip(t *testing.T) {
+	var buf strings.Builder
+	if err := obs.WriteBenchJSON(&buf, gateBase()); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadBenchJSON(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(gateBase()) {
+		t.Fatalf("round trip lost benchmarks: %d != %d", len(back), len(gateBase()))
+	}
+	if back["BenchmarkMerge/pooled"].AllocsPerOp != 20 {
+		t.Fatalf("allocs/op lost in round trip: %+v", back["BenchmarkMerge/pooled"])
+	}
+	if _, err := ReadBenchJSON(strings.NewReader("{}")); err == nil {
+		t.Fatal("empty baseline must error")
+	}
+}

@@ -1,13 +1,17 @@
 // Command lowdifflint runs the repository's custom static-analysis passes
-// — determinism, checkederr, floateq, mutexcopy, deferunlock — over the
-// given package patterns and exits 1 on any finding.
+// — determinism, checkederr, floateq, mutexcopy, lockbalance, hotalloc,
+// wgmisuse, sendblock — over the given package patterns and exits 1 on
+// any finding.
 //
 //	lowdifflint ./...
 //	lowdifflint ./internal/sim ./internal/cluster/...
+//	lowdifflint -json ./...
 //	lowdifflint -list
 //
-// Findings print as path:line:col: rule: message. Suppress a single line
-// with a justified directive on it or directly above it:
+// Findings print as path:line:col: rule: message, or with -json as a JSON
+// array of {file, line, col, rule, message} objects (an empty run prints
+// "[]"), which the CI lint job turns into per-line annotations. Suppress
+// a single line with a justified directive on it or directly above it:
 //
 //	//lint:allow <rule> <reason>
 //
@@ -15,6 +19,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -24,6 +29,7 @@ import (
 
 func main() {
 	list := flag.Bool("list", false, "list analyzers and exit")
+	asJSON := flag.Bool("json", false, "emit findings as a JSON array on stdout")
 	flag.Parse()
 	if *list {
 		for _, a := range lint.DefaultAnalyzers() {
@@ -44,8 +50,19 @@ func main() {
 		fatal(err)
 	}
 	diags := lint.Run(pkgs, lint.DefaultAnalyzers(), lint.DefaultConfig())
-	for _, d := range diags {
-		fmt.Println(d)
+	if *asJSON {
+		if diags == nil {
+			diags = []lint.Diagnostic{}
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(diags); err != nil {
+			fatal(err)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "lowdifflint: %d finding(s)\n", len(diags))

@@ -30,14 +30,29 @@ var ErrWindowGap = errors.New("comm: window does not cover the requested range")
 // verifies.
 var ErrPayloadCorrupt = errors.New("comm: retained payload failed checksum verification")
 
+// crcWriter folds written bytes into a running CRC-32C via crc32.Update —
+// bit-identical to crc32.New/Write/Sum32 without the hash.Hash32 heap
+// allocation that would otherwise happen on every retain.
+type crcWriter struct{ sum uint32 }
+
+func (w *crcWriter) Write(p []byte) (int, error) {
+	w.sum = crc32.Update(w.sum, castagnoli, p)
+	return len(p), nil
+}
+
+var crcPool = sync.Pool{New: func() any { return new(crcWriter) }}
+
 // payloadCRC checksums a compressed gradient via its wire encoding, so the
 // digest covers every field the checkpoint format would persist.
 func payloadCRC(c *compress.Compressed) uint32 {
-	h := crc32.New(castagnoli)
-	// The hash never fails to write; Encode errors are impossible here
+	w := crcPool.Get().(*crcWriter)
+	w.sum = 0
+	// The CRC writer never fails; Encode errors are impossible here
 	// (codec names are short by construction).
-	_ = c.Encode(h)
-	return h.Sum32()
+	_ = c.Encode(w)
+	sum := w.sum
+	crcPool.Put(w)
+	return sum
 }
 
 // windowEntry is one retained differential plus its integrity state.

@@ -21,7 +21,6 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"sort"
 
 	"lowdiff/internal/parallel"
 	"lowdiff/internal/tensor"
@@ -165,7 +164,8 @@ func (c *Compressed) AddIntoWith(pool *parallel.Pool, dense tensor.Vector) error
 			}
 		})
 	case c.Idx != nil:
-		errs := make([]error, pool.NumChunks(len(c.Idx)))
+		es := getErrs(pool.NumChunks(len(c.Idx)))
+		errs := es.v
 		pool.ForEach(len(c.Idx), func(s, lo, hi int) {
 			prev := int32(-1)
 			if lo > 0 {
@@ -185,9 +185,11 @@ func (c *Compressed) AddIntoWith(pool *parallel.Pool, dense tensor.Vector) error
 		})
 		for _, err := range errs {
 			if err != nil {
+				es.release()
 				return err
 			}
 		}
+		es.release()
 	default:
 		pool.ForEach(len(c.Vals), func(_, lo, hi int) {
 			for i := lo; i < hi; i++ {
@@ -319,7 +321,8 @@ func (t *TopK) selectIndices(grad tensor.Vector, k int) []int32 {
 	// order.
 	scratch := getI32(k * chunks)
 	cand := scratch.v
-	counts := make([]int, chunks)
+	cs := getInts(chunks)
+	counts := cs.v
 	pool.ForEach(n, func(s, lo, hi int) {
 		kk := k
 		if kk > hi-lo {
@@ -336,6 +339,7 @@ func (t *TopK) selectIndices(grad tensor.Vector, k int) []int32 {
 	// Reselect under the same total order; strictness (unique indices)
 	// makes the selected set independent of candidate order.
 	out := topKOf(grad, cand[:w], k)
+	cs.release()
 	scratch.release()
 	return out
 }
@@ -362,7 +366,7 @@ func keyIndex(key uint64) int32 { return int32(^uint32(key)) }
 // lower index.
 func topKRange(g tensor.Vector, lo, hi, k int) []int32 {
 	out := topKUnsorted(g, lo, hi, k)
-	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	sortI32(out)
 	return out
 }
 
@@ -410,7 +414,7 @@ func topKOf(g tensor.Vector, cand []int32, k int) []int32 {
 	if k >= len(cand) {
 		out := make([]int32, len(cand))
 		copy(out, cand)
-		sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+		sortI32(out)
 		return out
 	}
 	ks := getU64(len(cand))
@@ -424,7 +428,7 @@ func topKOf(g tensor.Vector, cand []int32, k int) []int32 {
 		out[i] = keyIndex(keys[i])
 	}
 	ks.release()
-	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	sortI32(out)
 	return out
 }
 
@@ -530,7 +534,7 @@ func (r *RandK) Compress(grad tensor.Vector) (*Compressed, error) {
 	}
 	idx := append([]int32(nil), perm[:k]...)
 	scratch.release()
-	sort.Slice(idx, func(a, b int) bool { return idx[a] < idx[b] })
+	sortI32(idx)
 	vals := make([]float32, k)
 	r.Pool.ForEach(k, func(_, lo, hi int) {
 		for i := lo; i < hi; i++ {
@@ -560,7 +564,8 @@ func (q8 Int8) Compress(grad tensor.Vector) (*Compressed, error) {
 	if pool.Workers() > 1 && pool.NumChunks(n) > 1 {
 		// Per-shard absmax, combined in ascending shard order. Max is
 		// insensitive to grouping, so this is exactly grad.AbsMax().
-		maxes := make([]float32, pool.NumChunks(n))
+		ms := getF32(pool.NumChunks(n))
+		maxes := ms.v
 		pool.ForEach(n, func(s, lo, hi int) {
 			maxes[s] = grad[lo:hi].AbsMax()
 		})
@@ -569,6 +574,7 @@ func (q8 Int8) Compress(grad tensor.Vector) (*Compressed, error) {
 				mx = m
 			}
 		}
+		ms.release()
 	} else {
 		mx = grad.AbsMax()
 	}
@@ -694,25 +700,40 @@ func MergeWith(pool *parallel.Pool, parts ...*Compressed) (*Compressed, error) {
 		idx, vals = kwayMergeRange(parts, 0, int32(n), idx, vals)
 		return &Compressed{Codec: "merged", N: n, Idx: idx, Vals: vals}, nil
 	}
-	type shardOut struct {
-		idx  []int32
-		vals []float32
+	// Every shard appends into its own disjoint, exactly-bounded segment
+	// of one pooled buffer (a shard's union size is at most its dense
+	// span and at most the global index total), so the per-shard merges
+	// never grow their destinations and the only per-call allocations are
+	// the exact-size result slices.
+	span := pool.ChunkSize()
+	segCap := span
+	if bound < segCap {
+		segCap = bound
 	}
-	outs := make([]shardOut, chunks)
+	is := getI32(chunks * segCap)
+	vs := getF32(chunks * segCap)
+	ls := getInts(chunks)
+	segIdx, segVals, lens := is.v, vs.v, ls.v
 	pool.ForEach(n, func(s, lo, hi int) {
-		i, v := kwayMergeRange(parts, int32(lo), int32(hi), nil, nil)
-		outs[s] = shardOut{idx: i, vals: v}
+		seg := s * segCap
+		i, _ := kwayMergeRange(parts, int32(lo), int32(hi),
+			segIdx[seg:seg:seg+segCap], segVals[seg:seg:seg+segCap])
+		lens[s] = len(i)
 	})
 	total := 0
-	for _, o := range outs {
-		total += len(o.idx)
+	for s := 0; s < chunks; s++ {
+		total += lens[s]
 	}
 	idx := make([]int32, 0, total)
 	vals := make([]float32, 0, total)
-	for _, o := range outs { // ascending chunk order = ascending index order
-		idx = append(idx, o.idx...)
-		vals = append(vals, o.vals...)
+	for s := 0; s < chunks; s++ { // ascending chunk order = ascending index order
+		seg := s * segCap
+		idx = append(idx, segIdx[seg:seg+lens[s]]...)
+		vals = append(vals, segVals[seg:seg+lens[s]]...)
 	}
+	ls.release()
+	vs.release()
+	is.release()
 	return &Compressed{Codec: "merged", N: n, Idx: idx, Vals: vals}, nil
 }
 
@@ -721,10 +742,11 @@ func MergeWith(pool *parallel.Pool, parts ...*Compressed) (*Compressed, error) {
 // increasing indices. For each output index the contributions are added in
 // part order, matching the serial single-pass reference bit for bit.
 func kwayMergeRange(parts []*Compressed, lo, hi int32, idx []int32, vals []float32) ([]int32, []float32) {
-	pos := make([]int, len(parts))
+	ps := getInts(len(parts))
+	defer ps.release()
+	pos := ps.v
 	for pi, p := range parts {
-		ix := p.Idx
-		pos[pi] = sort.Search(len(ix), func(i int) bool { return ix[i] >= lo })
+		pos[pi] = searchI32GE(p.Idx, lo)
 	}
 	for {
 		best := hi
@@ -743,7 +765,7 @@ func kwayMergeRange(parts []*Compressed, lo, hi int32, idx []int32, vals []float
 				pos[pi]++
 			}
 		}
-		idx = append(idx, best)
-		vals = append(vals, sum)
+		idx = append(idx, best)  //lint:allow hotalloc callers pass pre-sized buffers; this append never grows
+		vals = append(vals, sum) //lint:allow hotalloc callers pass pre-sized buffers; this append never grows
 	}
 }

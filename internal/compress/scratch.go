@@ -60,3 +60,57 @@ func getU64(n int) *u64Scratch {
 }
 
 func (s *u64Scratch) release() { u64Pool.Put(s) }
+
+type f32Scratch struct{ v []float32 }
+
+var f32Pool = sync.Pool{New: func() any { return new(f32Scratch) }}
+
+// getF32 returns a pooled float32 slice of length n. Contents are stale;
+// callers must write every slot they read.
+func getF32(n int) *f32Scratch {
+	s := f32Pool.Get().(*f32Scratch)
+	if cap(s.v) < n {
+		s.v = make([]float32, n)
+	}
+	s.v = s.v[:n]
+	return s
+}
+
+func (s *f32Scratch) release() { f32Pool.Put(s) }
+
+type intScratch struct{ v []int }
+
+var intPool = sync.Pool{New: func() any { return new(intScratch) }}
+
+// getInts returns a pooled int slice of length n. Contents are stale;
+// callers must write every slot they read.
+func getInts(n int) *intScratch {
+	s := intPool.Get().(*intScratch)
+	if cap(s.v) < n {
+		s.v = make([]int, n)
+	}
+	s.v = s.v[:n]
+	return s
+}
+
+func (s *intScratch) release() { intPool.Put(s) }
+
+type errScratch struct{ v []error }
+
+var errPool = sync.Pool{New: func() any { return new(errScratch) }}
+
+// getErrs returns a pooled, zeroed error slice of length n — per-shard
+// error slots for parallel validation loops.
+func getErrs(n int) *errScratch {
+	s := errPool.Get().(*errScratch)
+	if cap(s.v) < n {
+		s.v = make([]error, n)
+	}
+	s.v = s.v[:n]
+	for i := range s.v {
+		s.v[i] = nil
+	}
+	return s
+}
+
+func (s *errScratch) release() { errPool.Put(s) }

@@ -150,8 +150,7 @@ func (r *dpRank) step(rc *runCtx, t int64) error {
 		if t%int64(e.opts.FullEvery) == 0 {
 			e.events.Emit("train.milestone", map[string]any{"iter": t})
 		}
-		iterDone = e.opts.Trace.Begin("train", "iteration",
-			map[string]interface{}{"iter": t})
+		iterDone = e.opts.Trace.Begin1("train", "iteration", "iter", t)
 	}
 	// Backward pass.
 	if err := e.oracle.Local(r.p.Flat, w, int(t), r.g); err != nil {
@@ -211,6 +210,7 @@ func (r *dpRank) step(rc *runCtx, t int64) error {
 		if fallback || t%int64(e.opts.FullEvery) == 0 {
 			var full *checkpoint.Full
 			e.FullSnapshotTimer.Time(func() {
+				//lint:allow hotalloc full-checkpoint path runs every FullEvery iterations; ownership moves to the persist goroutine
 				full = &checkpoint.Full{
 					Iter:   t,
 					Params: r.p.Flat.Clone(),

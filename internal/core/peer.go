@@ -149,8 +149,7 @@ func (r *peerRank) step(rc *runCtx, t int64) error {
 		if t%int64(e.opts.FullEvery) == 0 {
 			e.events.Emit("train.milestone", map[string]any{"iter": t})
 		}
-		iterDone = e.opts.Trace.Begin("train", "iteration",
-			map[string]interface{}{"iter": t})
+		iterDone = e.opts.Trace.Begin1("train", "iteration", "iter", t)
 	}
 	// Backward pass.
 	if err := e.oracle.Local(r.p.Flat, w, int(t), r.g); err != nil {

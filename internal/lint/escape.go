@@ -1,0 +1,983 @@
+package lint
+
+// Intra-procedural escape / allocation classification on go/types.
+//
+// For one function (including its nested function literals) the analysis
+// collects *allocation sites* — make/new, composite literals, append
+// growth, string↔[]byte conversions, closures, interface boxing, and a
+// short list of known-allocating stdlib constructors — and classifies
+// each site's fate by propagating value flow through locals:
+//
+//	RETURN   the value (possibly via intermediate locals / composite
+//	         literals) reaches a return statement. Fresh-result
+//	         ownership is this repo's API contract (DESIGN.md §8), so
+//	         returned allocations are exempt.
+//	HEAP     stored into a field, slice/map element, global, or sent on
+//	         a channel — it outlives the frame.
+//	CAPTURE  captured by a nested function literal.
+//	ARG      passed to a non-cold, non-builtin call (conservatively
+//	         assumed to escape; builtins like copy/append do not count,
+//	         and a configurable cold-callee list exempts error/logging
+//	         formatting).
+//
+// Verdicts (see (*escapeAnalysis).findings): RETURN wins over everything
+// (fresh result). Otherwise any escape mark flags the site. Un-escaped
+// sites are exempt only when their size is a compile-time constant (the
+// compiler stack-allocates them); variable-size make always heap
+// allocates, escaping or not.
+//
+// Known limits (documented in DESIGN.md §6): the flow graph tracks
+// locals, composite literals, &-literals and conversions — not struct
+// fields, call results, or aliasing through pointers; interface boxing is
+// detected at direct call arguments and inside composite literals with
+// interface element/value types, not at plain assignments or returns;
+// receivers of method calls are not treated as escaping.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+type allocKind int
+
+const (
+	kindMake allocKind = iota
+	kindNew
+	kindLit     // composite literal (slice/map, or &struct{})
+	kindClone   // append([]T(nil), src...) exact-size clone
+	kindAppend  // append through a destination that may grow
+	kindConvert // string <-> []byte conversion
+	kindClosure // leaf: function literal in a loop
+	kindBox     // leaf: interface boxing at a call argument
+	kindCall    // leaf: known-allocating stdlib constructor
+)
+
+type allocSite struct {
+	node      ast.Node
+	kind      allocKind
+	desc      string
+	constSize bool // backing size known at compile time
+	hasCap    bool // kindMake: 3-arg make (explicit capacity)
+	inLoop    bool
+	dst       ast.Expr // kindAppend: destination operand
+}
+
+// escape marks, combined as a bit set.
+type markSet uint8
+
+const (
+	markReturn markSet = 1 << iota
+	markHeap
+	markCapture
+	markArg
+)
+
+type flowNode struct {
+	out     []*flowNode
+	in      []*flowNode
+	marks   markSet
+	origins map[*allocSite]bool
+}
+
+type escapeAnalysis struct {
+	pkg   *Package
+	info  *types.Info
+	fnPos token.Pos // enclosing FuncDecl body span, for capture detection
+	fnEnd token.Pos
+
+	nodes map[any]*flowNode // key: *types.Var or ast.Expr
+	// params holds parameter/receiver objects (of the FuncDecl and every
+	// nested literal): storing into a field/element of a parameter
+	// escapes the frame, unlike a store into a plain local.
+	params map[*types.Var]bool
+	sites  []*allocSite
+	// leaf findings (closures, boxing, constructor calls) are reported
+	// unconditionally — they have no flow-based exemption.
+	leaves []*allocSite
+
+	coldCallees map[string]bool
+}
+
+// knownAllocConstructors are stdlib calls that always heap-allocate their
+// result; calling them per-operation on a hot path is a finding even
+// though the allocation happens inside the callee.
+var knownAllocConstructors = map[string]string{
+	"hash/crc32.New":     "hash/crc32.New allocates a digest per call",
+	"hash/crc32.NewIEEE": "hash/crc32.NewIEEE allocates a digest per call",
+	"bytes.NewBuffer":    "bytes.NewBuffer allocates per call",
+	"bytes.NewReader":    "bytes.NewReader allocates per call",
+	"bufio.NewReader":    "bufio.NewReader allocates a buffered reader per call",
+	"bufio.NewWriter":    "bufio.NewWriter allocates a buffered writer per call",
+}
+
+func newEscapeAnalysis(pkg *Package, fn *ast.FuncDecl, coldCallees map[string]bool) *escapeAnalysis {
+	ea := &escapeAnalysis{
+		pkg:         pkg,
+		info:        pkg.Info,
+		nodes:       map[any]*flowNode{},
+		params:      map[*types.Var]bool{},
+		coldCallees: coldCallees,
+	}
+	ea.collectParams(fn.Recv)
+	if fn.Type != nil {
+		ea.collectParams(fn.Type.Params)
+	}
+	if fn.Body != nil {
+		ea.fnPos, ea.fnEnd = fn.Body.Pos(), fn.Body.End()
+		ea.walkStmt(fn.Body, walkEnv{})
+	}
+	return ea
+}
+
+func (ea *escapeAnalysis) collectParams(fl *ast.FieldList) {
+	if fl == nil {
+		return
+	}
+	for _, f := range fl.List {
+		for _, name := range f.Names {
+			if v, ok := ea.info.Defs[name].(*types.Var); ok {
+				ea.params[v] = true
+			}
+		}
+	}
+}
+
+type walkEnv struct {
+	loops int // enclosing for/range loops within the current function literal
+	cold  int // >0 while inside the argument list of a cold callee
+	lits  []*ast.FuncLit
+}
+
+func (ea *escapeAnalysis) node(key any) *flowNode {
+	n, ok := ea.nodes[key]
+	if !ok {
+		n = &flowNode{origins: map[*allocSite]bool{}}
+		ea.nodes[key] = n
+	}
+	return n
+}
+
+func (ea *escapeAnalysis) edge(src, dst *flowNode) {
+	src.out = append(src.out, dst)
+	dst.in = append(dst.in, src)
+}
+
+func (ea *escapeAnalysis) mark(n *flowNode, m markSet) { n.marks |= m }
+
+// exprNode returns the flow node for an expression, resolving identifiers
+// to their variable objects so different mentions of one local share a
+// node. Returns nil for expressions the graph does not track (field
+// reads, call results, constants...).
+func (ea *escapeAnalysis) exprNode(e ast.Expr) *flowNode {
+	switch e := e.(type) {
+	case *ast.ParenExpr:
+		return ea.exprNode(e.X)
+	case *ast.Ident:
+		if v, ok := ea.info.ObjectOf(e).(*types.Var); ok && !v.IsField() {
+			return ea.node(v)
+		}
+		return nil
+	case *ast.CompositeLit, *ast.UnaryExpr, *ast.CallExpr, *ast.FuncLit:
+		if n, ok := ea.nodes[ast.Expr(e)]; ok {
+			return n
+		}
+		return nil
+	}
+	return nil
+}
+
+// lhsSink wires one assignment target: locals get a flow edge, everything
+// that outlives the frame (fields, elements, globals, derefs) marks the
+// source as heap-escaping.
+func (ea *escapeAnalysis) lhsSink(lhs ast.Expr, src *flowNode) {
+	if src == nil {
+		return
+	}
+	switch l := lhs.(type) {
+	case *ast.Ident:
+		if l.Name == "_" {
+			return
+		}
+		if v, ok := ea.info.ObjectOf(l).(*types.Var); ok {
+			if v.Parent() != nil && v.Parent().Parent() == types.Universe {
+				// package-level variable
+				ea.mark(src, markHeap)
+				return
+			}
+			ea.edge(src, ea.node(v))
+		}
+	case *ast.ParenExpr:
+		ea.lhsSink(l.X, src)
+	case *ast.SelectorExpr, *ast.IndexExpr:
+		// x.f = v / x[i] = v: if the base chain bottoms out in a local,
+		// tie v's fate to that local — `out := &T{}; out.f = v; return
+		// out` keeps the fresh-result exemption, while a captured or
+		// stored base propagates its escape to v. Unknown bases (calls,
+		// derefs) escape conservatively.
+		if base := lhsBase(lhs); base != nil {
+			if v, ok := ea.info.ObjectOf(base).(*types.Var); ok && !v.IsField() &&
+				!ea.params[v] &&
+				!(v.Parent() != nil && v.Parent().Parent() == types.Universe) {
+				ea.edge(src, ea.node(v))
+				return
+			}
+		}
+		ea.mark(src, markHeap)
+	default:
+		// *p = v, ...
+		ea.mark(src, markHeap)
+	}
+}
+
+// lhsBase strips selector/index/paren chains down to the base identifier,
+// or nil when the base is not a plain identifier.
+func lhsBase(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.Ident:
+			return x
+		default:
+			return nil
+		}
+	}
+}
+
+func (ea *escapeAnalysis) walkStmt(s ast.Stmt, env walkEnv) {
+	switch s := s.(type) {
+	case nil:
+	case *ast.BlockStmt:
+		for _, st := range s.List {
+			ea.walkStmt(st, env)
+		}
+	case *ast.LabeledStmt:
+		ea.walkStmt(s.Stmt, env)
+	case *ast.IfStmt:
+		ea.walkStmt(s.Init, env)
+		ea.walkExpr(s.Cond, env)
+		ea.walkStmt(s.Body, env)
+		ea.walkStmt(s.Else, env)
+	case *ast.ForStmt:
+		ea.walkStmt(s.Init, env)
+		ea.walkExpr(s.Cond, env)
+		inner := env
+		inner.loops++
+		ea.walkStmt(s.Body, inner)
+		ea.walkStmt(s.Post, inner)
+	case *ast.RangeStmt:
+		ea.walkExpr(s.X, env)
+		inner := env
+		inner.loops++
+		ea.walkStmt(s.Body, inner)
+	case *ast.SwitchStmt:
+		ea.walkStmt(s.Init, env)
+		ea.walkExpr(s.Tag, env)
+		ea.walkStmt(s.Body, env)
+	case *ast.TypeSwitchStmt:
+		ea.walkStmt(s.Init, env)
+		ea.walkStmt(s.Assign, env)
+		ea.walkStmt(s.Body, env)
+	case *ast.SelectStmt:
+		ea.walkStmt(s.Body, env)
+	case *ast.CaseClause:
+		for _, e := range s.List {
+			ea.walkExpr(e, env)
+		}
+		for _, st := range s.Body {
+			ea.walkStmt(st, env)
+		}
+	case *ast.CommClause:
+		ea.walkStmt(s.Comm, env)
+		for _, st := range s.Body {
+			ea.walkStmt(st, env)
+		}
+	case *ast.ExprStmt:
+		ea.walkExpr(s.X, env)
+	case *ast.SendStmt:
+		ea.walkExpr(s.Chan, env)
+		ea.walkExpr(s.Value, env)
+		if n := ea.exprNode(s.Value); n != nil {
+			ea.mark(n, markHeap) // handed to another goroutine
+		}
+	case *ast.IncDecStmt:
+		ea.walkExpr(s.X, env)
+	case *ast.AssignStmt:
+		for _, rhs := range s.Rhs {
+			ea.walkExpr(rhs, env)
+		}
+		if len(s.Lhs) == len(s.Rhs) {
+			for i, rhs := range s.Rhs {
+				ea.lhsSink(s.Lhs[i], ea.exprNode(rhs))
+			}
+		}
+		// Tuple assignment from a call/map/type-assert: results are not
+		// tracked sites, nothing to wire.
+	case *ast.DeclStmt:
+		gd, ok := s.Decl.(*ast.GenDecl)
+		if !ok {
+			return
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			for _, v := range vs.Values {
+				ea.walkExpr(v, env)
+			}
+			if len(vs.Names) == len(vs.Values) {
+				for i := range vs.Names {
+					ea.lhsSink(vs.Names[i], ea.exprNode(vs.Values[i]))
+				}
+			}
+		}
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			ea.walkExpr(r, env)
+			if n := ea.exprNode(r); n != nil {
+				ea.mark(n, markReturn)
+			}
+		}
+	case *ast.DeferStmt:
+		ea.walkCall(s.Call, env, true)
+	case *ast.GoStmt:
+		ea.walkCall(s.Call, env, true)
+	}
+}
+
+func (ea *escapeAnalysis) walkExpr(e ast.Expr, env walkEnv) {
+	switch e := e.(type) {
+	case nil:
+	case *ast.ParenExpr:
+		ea.walkExpr(e.X, env)
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			if cl, ok := skipParens(e.X).(*ast.CompositeLit); ok {
+				// &T{...}: one heap candidate; the site is the UnaryExpr.
+				ea.walkCompositeLit(cl, env, false)
+				inner := ea.exprNode(cl)
+				site := ea.addSite(&allocSite{
+					node:      e,
+					kind:      kindLit,
+					desc:      fmt.Sprintf("&%s composite literal", typeDesc(ea.info, cl)),
+					constSize: true,
+					inLoop:    env.loops > 0,
+				}, env)
+				n := ea.node(ast.Expr(e))
+				n.origins[site] = true
+				if inner != nil {
+					ea.edge(inner, n)
+				}
+				return
+			}
+		}
+		ea.walkExpr(e.X, env)
+	case *ast.BinaryExpr:
+		ea.walkExpr(e.X, env)
+		ea.walkExpr(e.Y, env)
+	case *ast.StarExpr:
+		ea.walkExpr(e.X, env)
+	case *ast.SelectorExpr:
+		ea.walkExpr(e.X, env)
+	case *ast.IndexExpr:
+		ea.walkExpr(e.X, env)
+		ea.walkExpr(e.Index, env)
+	case *ast.SliceExpr:
+		ea.walkExpr(e.X, env)
+		ea.walkExpr(e.Low, env)
+		ea.walkExpr(e.High, env)
+		ea.walkExpr(e.Max, env)
+	case *ast.TypeAssertExpr:
+		ea.walkExpr(e.X, env)
+	case *ast.KeyValueExpr:
+		ea.walkExpr(e.Key, env)
+		ea.walkExpr(e.Value, env)
+	case *ast.CompositeLit:
+		ea.walkCompositeLit(e, env, true)
+	case *ast.FuncLit:
+		ea.walkFuncLit(e, env)
+	case *ast.CallExpr:
+		ea.walkCall(e, env, false)
+	}
+}
+
+func skipParens(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+func (ea *escapeAnalysis) addSite(s *allocSite, env walkEnv) *allocSite {
+	if env.cold > 0 {
+		// Allocations feeding error formatting / cold logging are out of
+		// scope; keep the site for flow plumbing but never report it.
+		s.desc = ""
+	}
+	ea.sites = append(ea.sites, s)
+	return s
+}
+
+func (ea *escapeAnalysis) addLeaf(s *allocSite, env walkEnv) {
+	if env.cold > 0 {
+		return
+	}
+	ea.leaves = append(ea.leaves, s)
+}
+
+// walkCompositeLit registers a slice/map literal (or the payload of a
+// &struct{} taken by walkExpr) and wires element flow into the literal's
+// node. asValue says the literal appears as a plain value (not behind &).
+func (ea *escapeAnalysis) walkCompositeLit(cl *ast.CompositeLit, env walkEnv, asValue bool) {
+	n := ea.node(ast.Expr(cl))
+	tv := ea.info.Types[cl]
+	t := tv.Type
+	var under types.Type
+	if t != nil {
+		under = t.Underlying()
+	}
+
+	isRef := false
+	var elemIface bool
+	switch u := under.(type) {
+	case *types.Slice:
+		isRef = true
+		elemIface = types.IsInterface(u.Elem())
+	case *types.Map:
+		isRef = true
+		elemIface = types.IsInterface(u.Elem())
+	}
+
+	if asValue && isRef {
+		site := ea.addSite(&allocSite{
+			node:      cl,
+			kind:      kindLit,
+			desc:      fmt.Sprintf("%s literal", typeDesc(ea.info, cl)),
+			constSize: true,
+			inLoop:    env.loops > 0,
+		}, env)
+		n.origins[site] = true
+	}
+
+	for _, elt := range cl.Elts {
+		val := elt
+		if kv, ok := elt.(*ast.KeyValueExpr); ok {
+			ea.walkExpr(kv.Key, env)
+			val = kv.Value
+		}
+		ea.walkExpr(val, env)
+		if src := ea.exprNode(val); src != nil {
+			ea.edge(src, n)
+		}
+		if elemIface && env.cold == 0 {
+			if boxed, bt := ea.boxes(val); boxed {
+				ea.addLeaf(&allocSite{
+					node:   val,
+					kind:   kindBox,
+					desc:   fmt.Sprintf("%s value boxed into %s", bt, typeDesc(ea.info, cl)),
+					inLoop: env.loops > 0,
+				}, env)
+			}
+		}
+	}
+}
+
+func (ea *escapeAnalysis) walkFuncLit(fl *ast.FuncLit, env walkEnv) {
+	// Mark captured locals of the enclosing function.
+	ast.Inspect(fl.Body, func(m ast.Node) bool {
+		id, ok := m.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := ea.info.Uses[id].(*types.Var)
+		if !ok || v.IsField() {
+			return true
+		}
+		// Captured: declared inside the analyzed function body but
+		// outside this literal.
+		if v.Pos() >= ea.fnPos && v.Pos() < ea.fnEnd &&
+			(v.Pos() < fl.Pos() || v.Pos() >= fl.End()) {
+			ea.mark(ea.node(v), markCapture)
+		}
+		return true
+	})
+	if env.loops > 0 {
+		ea.addLeaf(&allocSite{
+			node:   fl,
+			kind:   kindClosure,
+			desc:   "function literal allocated per loop iteration",
+			inLoop: true,
+		}, env)
+	}
+	ea.collectParams(fl.Type.Params)
+	// Walk the body: a fresh literal scope, loop depth resets (a closure
+	// body only reruns if its own loops do).
+	inner := walkEnv{cold: env.cold, lits: append(env.lits, fl)}
+	ea.walkStmt(fl.Body, inner)
+	ea.node(ast.Expr(fl)) // ensure a node exists so exprNode finds it
+}
+
+// calleeKey renders the callee of a call as "pkgpath.Func" /
+// "pkgpath.Type.Method", or "" if it cannot be resolved.
+func (ea *escapeAnalysis) calleeKey(call *ast.CallExpr) string {
+	var obj types.Object
+	switch fun := skipParens(call.Fun).(type) {
+	case *ast.Ident:
+		obj = ea.info.Uses[fun]
+	case *ast.SelectorExpr:
+		obj = ea.info.Uses[fun.Sel]
+	}
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return ""
+	}
+	return funcObjKey(fn)
+}
+
+// funcObjKey renders a *types.Func as pkgpath.Name or pkgpath.Recv.Name.
+func funcObjKey(fn *types.Func) string {
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return fn.Name()
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if sig != nil && sig.Recv() != nil {
+		rt := sig.Recv().Type()
+		if p, ok := rt.(*types.Pointer); ok {
+			rt = p.Elem()
+		}
+		if named, ok := rt.(*types.Named); ok {
+			return pkg.Path() + "." + named.Obj().Name() + "." + fn.Name()
+		}
+	}
+	return pkg.Path() + "." + fn.Name()
+}
+
+// isColdCallee reports whether args of this call are exempt from hot-path
+// allocation findings. Entries are exact keys ("fmt.Errorf",
+// "lowdiff/internal/core.Engine.fields") or ".Method" (any method of that
+// name, e.g. ".Emit" for event emitters).
+func (ea *escapeAnalysis) isColdCallee(call *ast.CallExpr) bool {
+	key := ea.calleeKey(call)
+	if key == "" {
+		return false
+	}
+	if ea.coldCallees[key] {
+		return true
+	}
+	if i := lastDot(key); i >= 0 && ea.coldCallees[key[i:]] {
+		return true
+	}
+	return false
+}
+
+func lastDot(s string) int {
+	for i := len(s) - 1; i >= 0; i-- {
+		if s[i] == '.' {
+			return i
+		}
+	}
+	return -1
+}
+
+func (ea *escapeAnalysis) walkCall(call *ast.CallExpr, env walkEnv, spawned bool) {
+	fun := skipParens(call.Fun)
+	tvFun := ea.info.Types[fun]
+
+	// Type conversion T(x).
+	if tvFun.IsType() {
+		if len(call.Args) == 1 {
+			ea.walkExpr(call.Args[0], env)
+			if isStringBytesConversion(tvFun.Type, ea.info.Types[call.Args[0]].Type) {
+				site := ea.addSite(&allocSite{
+					node:   call,
+					kind:   kindConvert,
+					desc:   fmt.Sprintf("%s conversion copies its operand", types.TypeString(tvFun.Type, nil)),
+					inLoop: env.loops > 0,
+				}, env)
+				n := ea.node(ast.Expr(call))
+				n.origins[site] = true
+				if src := ea.exprNode(call.Args[0]); src != nil {
+					ea.edge(src, n)
+				}
+			} else if src := ea.exprNode(call.Args[0]); src != nil {
+				// Non-allocating conversion: pass flow through.
+				n := ea.node(ast.Expr(call))
+				ea.edge(src, n)
+			}
+		}
+		return
+	}
+
+	// Builtins.
+	if id, ok := fun.(*ast.Ident); ok {
+		if _, isBuiltin := ea.info.Uses[id].(*types.Builtin); isBuiltin {
+			ea.walkBuiltin(id.Name, call, env)
+			return
+		}
+	}
+
+	ea.walkExpr(call.Fun, env)
+
+	key := ea.calleeKey(call)
+	if desc, ok := knownAllocConstructors[key]; ok {
+		ea.addLeaf(&allocSite{node: call, kind: kindCall, desc: desc, inLoop: env.loops > 0}, env)
+	}
+
+	cold := ea.isColdCallee(call)
+	argEnv := env
+	if cold {
+		argEnv.cold++
+	}
+
+	var sig *types.Signature
+	if tvFun.Type != nil {
+		sig, _ = tvFun.Type.Underlying().(*types.Signature)
+	}
+	for i, arg := range call.Args {
+		ea.walkExpr(arg, argEnv)
+		if n := ea.exprNode(arg); n != nil && !cold {
+			ea.mark(n, markArg)
+		}
+		if sig != nil && !cold {
+			if pt, ok := paramType(sig, i, call); ok && types.IsInterface(pt) {
+				if boxed, bt := ea.boxes(arg); boxed {
+					ea.addLeaf(&allocSite{
+						node:   arg,
+						kind:   kindBox,
+						desc:   fmt.Sprintf("%s boxed into %s argument", bt, types.TypeString(pt, nil)),
+						inLoop: env.loops > 0,
+					}, env)
+				}
+			}
+		}
+	}
+	_ = spawned
+}
+
+// paramType resolves the static parameter type for argument i, unwrapping
+// variadic parameters unless the call spreads a slice with "...".
+func paramType(sig *types.Signature, i int, call *ast.CallExpr) (types.Type, bool) {
+	np := sig.Params().Len()
+	if np == 0 {
+		return nil, false
+	}
+	if sig.Variadic() && i >= np-1 {
+		if call.Ellipsis.IsValid() {
+			return nil, false // s... passes the slice, no boxing
+		}
+		last := sig.Params().At(np - 1).Type()
+		if sl, ok := last.Underlying().(*types.Slice); ok {
+			return sl.Elem(), true
+		}
+		return nil, false
+	}
+	if i >= np {
+		return nil, false
+	}
+	return sig.Params().At(i).Type(), true
+}
+
+// boxes reports whether passing e into an interface context allocates:
+// the operand is non-constant and its type is not pointer-shaped and not
+// already an interface.
+func (ea *escapeAnalysis) boxes(e ast.Expr) (bool, string) {
+	tv := ea.info.Types[e]
+	if tv.Value != nil || tv.Type == nil {
+		return false, "" // constants are interned / not per-call
+	}
+	t := tv.Type
+	if isUntypedNil(t) || types.IsInterface(t) || pointerShaped(t) {
+		return false, ""
+	}
+	return true, types.TypeString(t, nil)
+}
+
+func isUntypedNil(t types.Type) bool {
+	b, ok := t.(*types.Basic)
+	return ok && b.Kind() == types.UntypedNil
+}
+
+func pointerShaped(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	case *types.Basic:
+		return u.Kind() == types.UnsafePointer
+	}
+	return false
+}
+
+func isStringBytesConversion(to, from types.Type) bool {
+	if to == nil || from == nil {
+		return false
+	}
+	return (isString(to) && isByteSlice(from)) || (isByteSlice(to) && isString(from))
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Byte
+}
+
+func (ea *escapeAnalysis) walkBuiltin(name string, call *ast.CallExpr, env walkEnv) {
+	for _, a := range call.Args {
+		ea.walkExpr(a, env)
+	}
+	switch name {
+	case "make":
+		t := ea.info.Types[call].Type
+		constSize := true
+		for _, a := range call.Args[1:] {
+			if ea.info.Types[a].Value == nil {
+				constSize = false
+			}
+		}
+		site := ea.addSite(&allocSite{
+			node:      call,
+			kind:      kindMake,
+			desc:      fmt.Sprintf("make(%s) allocates", types.TypeString(t, nil)),
+			constSize: constSize,
+			hasCap:    len(call.Args) == 3,
+			inLoop:    env.loops > 0,
+		}, env)
+		n := ea.node(ast.Expr(call))
+		n.origins[site] = true
+	case "new":
+		site := ea.addSite(&allocSite{
+			node:      call,
+			kind:      kindNew,
+			desc:      "new(...) allocates",
+			constSize: true,
+			inLoop:    env.loops > 0,
+		}, env)
+		n := ea.node(ast.Expr(call))
+		n.origins[site] = true
+	case "append":
+		if len(call.Args) == 0 {
+			return
+		}
+		n := ea.node(ast.Expr(call))
+		dst := skipParens(call.Args[0])
+		if isNilClone(ea.info, dst) {
+			// append([]T(nil), src...): exact-size clone.
+			site := ea.addSite(&allocSite{
+				node:      call,
+				kind:      kindClone,
+				desc:      "append-to-nil clone allocates an exact copy",
+				constSize: false,
+				inLoop:    env.loops > 0,
+			}, env)
+			n.origins[site] = true
+		} else {
+			ea.addSite(&allocSite{
+				node:   call,
+				kind:   kindAppend,
+				desc:   "append may grow its backing array",
+				inLoop: env.loops > 0,
+				dst:    dst,
+			}, env)
+			if src := ea.exprNode(dst); src != nil {
+				ea.edge(src, n) // result aliases the destination backing
+			}
+		}
+	}
+}
+
+// isNilClone recognizes the clone-idiom destination []T(nil) (or a bare
+// nil identifier).
+func isNilClone(info *types.Info, e ast.Expr) bool {
+	if id, ok := e.(*ast.Ident); ok && id.Name == "nil" {
+		return true
+	}
+	conv, ok := e.(*ast.CallExpr)
+	if !ok || len(conv.Args) != 1 || !info.Types[conv.Fun].IsType() {
+		return false
+	}
+	id, ok := skipParens(conv.Args[0]).(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+func typeDesc(info *types.Info, e ast.Expr) string {
+	if t := info.Types[e].Type; t != nil {
+		return types.TypeString(t, func(p *types.Package) string { return p.Name() })
+	}
+	return "composite"
+}
+
+// propagate runs the two fixpoint passes: escape marks flow backwards
+// from sinks to sources; origin sites flow forwards to the locals that
+// may hold them.
+func (ea *escapeAnalysis) propagate() {
+	// Backward marks.
+	var work []*flowNode
+	for _, n := range ea.nodes {
+		if n.marks != 0 {
+			work = append(work, n)
+		}
+	}
+	for len(work) > 0 {
+		n := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, p := range n.in {
+			if p.marks|n.marks != p.marks {
+				p.marks |= n.marks
+				work = append(work, p)
+			}
+		}
+	}
+	// Forward origins.
+	work = work[:0]
+	for _, n := range ea.nodes {
+		if len(n.origins) > 0 {
+			work = append(work, n)
+		}
+	}
+	for len(work) > 0 {
+		n := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, s := range n.out {
+			changed := false
+			for site := range n.origins {
+				if !s.origins[site] {
+					s.origins[site] = true
+					changed = true
+				}
+			}
+			if changed {
+				work = append(work, s)
+			}
+		}
+	}
+}
+
+type allocFinding struct {
+	node ast.Node
+	msg  string
+}
+
+// findings applies the verdict rules and returns the reportable sites.
+func (ea *escapeAnalysis) findings() []*allocFinding {
+	ea.propagate()
+	var out []*allocFinding
+
+	for _, s := range ea.sites {
+		if s.desc == "" { // cold-context site, flow plumbing only
+			continue
+		}
+		switch s.kind {
+		case kindAppend:
+			if ea.appendPreSized(s) {
+				continue
+			}
+			out = append(out, &allocFinding{node: s.node,
+				msg: s.desc + " (destination not provably pre-sized in this function); pre-size with make(..., 0, cap) or reuse pooled scratch"})
+		default:
+			n := ea.siteNode(s)
+			var marks markSet
+			if n != nil {
+				marks = n.marks
+			}
+			if marks&markReturn != 0 {
+				continue // fresh-result ownership: caller asked for a new value
+			}
+			if marks&(markHeap|markCapture|markArg) != 0 {
+				out = append(out, &allocFinding{node: s.node,
+					msg: s.desc + " and escapes (" + escapeReason(marks) + "); reuse pooled scratch or hoist out of the hot path"})
+				continue
+			}
+			if !s.constSize {
+				out = append(out, &allocFinding{node: s.node,
+					msg: s.desc + " with non-constant size (heap even when non-escaping); reuse pooled scratch"})
+			}
+			// Non-escaping constant-size: stack-allocated, fine.
+		}
+	}
+	// Reported composite-literal sites subsume boxing findings inside
+	// them (one finding per map[string]any{...} literal, not one per
+	// boxed element).
+	for _, s := range ea.leaves {
+		if s.kind == kindBox {
+			inside := false
+			for _, f := range out {
+				if f.node.Pos() <= s.node.Pos() && s.node.End() <= f.node.End() {
+					inside = true
+					break
+				}
+			}
+			if inside {
+				continue
+			}
+		}
+		hint := "; hoist it out of the loop"
+		switch s.kind {
+		case kindBox:
+			hint = "; avoid the interface crossing on the hot path"
+		case kindCall:
+			hint = "; reuse a pooled instance"
+		}
+		out = append(out, &allocFinding{node: s.node, msg: s.desc + hint})
+	}
+	return out
+}
+
+// siteNode finds the flow node whose origins include s (its own expression
+// node).
+func (ea *escapeAnalysis) siteNode(s *allocSite) *flowNode {
+	if e, ok := s.node.(ast.Expr); ok {
+		if n, ok := ea.nodes[e]; ok {
+			return n
+		}
+	}
+	return nil
+}
+
+// appendPreSized reports whether every possible origin of the append
+// destination is a 3-arg make in this function — the grow-never idiom.
+func (ea *escapeAnalysis) appendPreSized(s *allocSite) bool {
+	n := ea.exprNode(s.dst)
+	if n == nil || len(n.origins) == 0 {
+		return false
+	}
+	for site := range n.origins {
+		switch site.kind {
+		case kindMake:
+			if !site.hasCap {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func escapeReason(m markSet) string {
+	switch {
+	case m&markHeap != 0:
+		return "stored beyond the frame"
+	case m&markCapture != 0:
+		return "captured by a closure"
+	default:
+		return "passed to a call"
+	}
+}

@@ -1,0 +1,81 @@
+package lint
+
+// hotalloc: flag per-call heap allocations inside the configured hot-path
+// set (Config.HotPaths). Built on the CFG/escape layer in escape.go; see
+// that file and DESIGN.md §6 for the verdict rules. Cold setup code inside
+// a hot package earns a `//lint:allow hotalloc <reason>` escape.
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// HotAllocAnalyzer reports heap allocations on configured hot paths.
+var HotAllocAnalyzer = &Analyzer{
+	Name: "hotalloc",
+	Doc:  "flags per-call heap allocations (make, literals, append growth, closures, boxing, string<->[]byte) in configured hot paths",
+	Run:  runHotAlloc,
+}
+
+// hotMatcher matches Config.HotPaths entries of three granularities:
+// "pkgpath" (whole package), "pkgpath.Func", "pkgpath.Type.Method".
+type hotMatcher struct {
+	pkgs  map[string]bool
+	funcs map[string]bool
+}
+
+func newHotMatcher(entries []string) *hotMatcher {
+	m := &hotMatcher{pkgs: map[string]bool{}, funcs: map[string]bool{}}
+	for _, e := range entries {
+		if strings.Contains(e[strings.LastIndex(e, "/")+1:], ".") {
+			m.funcs[e] = true
+		} else {
+			m.pkgs[e] = true
+		}
+	}
+	return m
+}
+
+func (m *hotMatcher) pkgRelevant(path string) bool {
+	if m.pkgs[path] {
+		return true
+	}
+	for f := range m.funcs {
+		if strings.HasPrefix(f, path+".") {
+			return true
+		}
+	}
+	return false
+}
+
+func (m *hotMatcher) matchFunc(pkgPath, key string) bool {
+	return m.pkgs[pkgPath] || m.funcs[key]
+}
+
+func runHotAlloc(pass *Pass) {
+	hot := newHotMatcher(pass.Config.HotPaths)
+	if !hot.pkgRelevant(pass.Pkg.Path) {
+		return
+	}
+	cold := map[string]bool{}
+	for _, c := range pass.Config.HotAllocCold {
+		cold[c] = true
+	}
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			key := funcKey(pass.Pkg, fn)
+			if !hot.matchFunc(pass.Pkg.Path, key) {
+				continue
+			}
+			short := key[strings.LastIndex(key, "/")+1:]
+			ea := newEscapeAnalysis(pass.Pkg, fn, cold)
+			for _, f := range ea.findings() {
+				pass.Reportf(f.node.Pos(), "hot path %s: %s", short, f.msg)
+			}
+		}
+	}
+}

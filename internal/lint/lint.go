@@ -35,13 +35,15 @@ import (
 	"strings"
 )
 
-// Diagnostic is one finding, positioned relative to the load root.
+// Diagnostic is one finding, positioned relative to the load root. The
+// JSON field names are the machine-readable contract of
+// `lowdifflint -json` (consumed by the CI lint job).
 type Diagnostic struct {
-	File    string // path relative to the load root
-	Line    int
-	Col     int
-	Rule    string
-	Message string
+	File    string `json:"file"` // path relative to the load root
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Rule    string `json:"rule"`
+	Message string `json:"message"`
 }
 
 func (d Diagnostic) String() string {
@@ -86,6 +88,16 @@ type Config struct {
 	// ==/!=: "pkgpath.Func" for functions, "pkgpath.Type.Method" for
 	// methods. These are the designated bit-exact comparison helpers.
 	FloatEqAllowFuncs []string
+	// HotPaths configures the hotalloc analyzer: entries are whole
+	// packages ("pkgpath"), free functions ("pkgpath.Func"), or methods
+	// ("pkgpath.Type.Method") whose bodies are per-iteration hot loops
+	// where heap allocation is a finding.
+	HotPaths []string
+	// HotAllocCold lists callees whose argument expressions are exempt
+	// from hotalloc (error formatting, event emission — cold by
+	// construction even on a hot path). Entries are exact keys like
+	// "fmt.Errorf", or ".Method" to match any method of that name.
+	HotAllocCold []string
 }
 
 // DefaultConfig returns the configuration enforced on this repository.
@@ -111,18 +123,59 @@ func DefaultConfig() *Config {
 		FloatEqAllowFuncs: []string{
 			"lowdiff/internal/tensor.Vector.Equal",
 		},
+		// The hot-path set mirrors DESIGN.md §8: the data-plane packages
+		// are hot wholesale; in core and comm only the per-iteration step
+		// and retain paths are (setup/recovery code in those packages is
+		// cold).
+		HotPaths: []string{
+			"lowdiff/internal/parallel",
+			"lowdiff/internal/compress",
+			"lowdiff/internal/tensor",
+			"lowdiff/internal/core.dpRank.step",
+			"lowdiff/internal/core.peerRank.step",
+			"lowdiff/internal/core.peerRank.checkpointStep",
+			"lowdiff/internal/core.ppRank.step",
+			"lowdiff/internal/core.shiftToGlobal",
+			"lowdiff/internal/core.applyCompressed",
+			"lowdiff/internal/comm.Window.Retain",
+			"lowdiff/internal/comm.Window.lookup",
+			"lowdiff/internal/comm.payloadCRC",
+			"lowdiff/internal/comm.Peers.Retain",
+		},
+		HotAllocCold: []string{
+			"fmt.Errorf",
+			"fmt.Sprintf",
+			"fmt.Fprintf",
+			"errors.New",
+			// Event emission and error/field decoration happen on rare
+			// transitions (milestones, faults), never per iteration.
+			".Emit",
+			"lowdiff/internal/core.Engine.fields",
+		},
 	}
 }
 
 // DefaultAnalyzers returns every analyzer, in reporting order.
+// DeferUnlockAnalyzer is superseded by the CFG-based LockBalanceAnalyzer
+// and no longer runs by default; `//lint:allow deferunlock` directives
+// keep working via the rule alias table.
 func DefaultAnalyzers() []*Analyzer {
 	return []*Analyzer{
 		DeterminismAnalyzer,
 		CheckedErrAnalyzer,
 		FloatEqAnalyzer,
 		MutexCopyAnalyzer,
-		DeferUnlockAnalyzer,
+		LockBalanceAnalyzer,
+		HotAllocAnalyzer,
+		WgMisuseAnalyzer,
+		SendBlockAnalyzer,
 	}
+}
+
+// ruleAliases maps deprecated rule names (still valid in //lint:allow
+// directives) to their successors.
+var ruleAliases = map[string]string{
+	"deferunlock": "lockbalance",
 }
 
 func (c *Config) deterministic(pkgPath string) bool {
@@ -184,13 +237,20 @@ const allowDirective = "lint:allow"
 // collectSuppressions scans a package's comments for //lint:allow
 // directives. A directive suppresses the named rules on its own line and
 // on the line directly below (so it can trail the offending statement or
-// sit on its own line above it). Malformed directives — no rules, an
-// unknown rule, or a missing reason — are reported as diagnostics so
-// suppressions stay auditable.
+// sit on its own line above it). When the anchored line starts a simple
+// statement that spans multiple lines (a wrapped call, a multi-line
+// composite literal), the suppression covers the statement's whole line
+// span — findings inside such a statement are reported on continuation
+// lines, and a directive above it must still reach them. Compound
+// statements (if/for/switch/...) deliberately only get their header line,
+// so one directive can never blanket a whole block body. Malformed
+// directives — no rules, an unknown rule, or a missing reason — are
+// reported as diagnostics so suppressions stay auditable.
 func collectSuppressions(pkg *Package, known map[string]bool) (suppressions, []Diagnostic) {
 	sup := make(suppressions)
 	var diags []Diagnostic
 	for _, f := range pkg.Files {
+		spans := simpleStmtSpans(pkg, f)
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
 				text, ok := strings.CutPrefix(c.Text, "//"+allowDirective)
@@ -216,7 +276,11 @@ func collectSuppressions(pkg *Package, known map[string]bool) (suppressions, []D
 				}
 				rules := strings.Split(fields[0], ",")
 				valid := true
-				for _, r := range rules {
+				for i, r := range rules {
+					if alias, ok := ruleAliases[r]; ok {
+						rules[i] = alias
+						continue
+					}
 					if !known[r] {
 						bad("lint:allow names unknown rule %q", r)
 						valid = false
@@ -226,10 +290,18 @@ func collectSuppressions(pkg *Package, known map[string]bool) (suppressions, []D
 					continue
 				}
 				endFile, endLine, _ := pkg.Position(c.End())
-				for _, key := range []string{
-					endFile + ":" + strconv.Itoa(endLine),
-					endFile + ":" + strconv.Itoa(endLine+1),
-				} {
+				lines := map[int]bool{endLine: true, endLine + 1: true}
+				// Extend over multi-line simple statements anchored at
+				// either candidate line.
+				for _, sp := range spans {
+					if sp.start == endLine || sp.start == endLine+1 {
+						for l := sp.start; l <= sp.end; l++ {
+							lines[l] = true
+						}
+					}
+				}
+				for l := range lines {
+					key := endFile + ":" + strconv.Itoa(l)
 					set := sup[key]
 					if set == nil {
 						set = make(map[string]bool)
@@ -243,6 +315,53 @@ func collectSuppressions(pkg *Package, known map[string]bool) (suppressions, []D
 		}
 	}
 	return sup, diags
+}
+
+// lineSpan is the first/last source line of one statement.
+type lineSpan struct{ start, end int }
+
+// simpleStmtSpans collects the line spans of every "simple" statement in
+// the file: assignments, declarations, expression/send/go/defer/return
+// statements. These are the shapes whose findings can land on
+// continuation lines (wrapped arguments, multi-line composite literals)
+// while a suppression directive sits above the first line. Compound
+// statements are excluded so a directive can never suppress an entire
+// block body.
+func simpleStmtSpans(pkg *Package, f *ast.File) []lineSpan {
+	var spans []lineSpan
+	add := func(n ast.Node) {
+		// A statement wrapping a function literal spans the literal's
+		// whole body; suppressing all of it from one directive would be a
+		// blanket. Inner statements register their own spans instead.
+		containsLit := false
+		ast.Inspect(n, func(m ast.Node) bool {
+			if _, ok := m.(*ast.FuncLit); ok {
+				containsLit = true
+				return false
+			}
+			return true
+		})
+		if containsLit {
+			return
+		}
+		_, start, _ := pkg.Position(n.Pos())
+		_, end, _ := pkg.Position(n.End())
+		if end > start {
+			spans = append(spans, lineSpan{start: start, end: end})
+		}
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt, *ast.ExprStmt, *ast.ReturnStmt, *ast.DeclStmt,
+			*ast.SendStmt, *ast.GoStmt, *ast.DeferStmt, *ast.IncDecStmt:
+			add(n)
+		case *ast.GenDecl:
+			// Package-level var/const blocks with multi-line values.
+			add(n)
+		}
+		return true
+	})
+	return spans
 }
 
 // isBlank reports whether e is the blank identifier.

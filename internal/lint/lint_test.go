@@ -11,8 +11,10 @@ import (
 var update = flag.Bool("update", false, "rewrite the fixture golden files")
 
 // fixtureConfig mirrors DefaultConfig for the fixture module: multi/ and
-// det/ are declared deterministic, and floats/ provides the allowlisted
-// bit-exact helpers.
+// det/ are declared deterministic, floats/ provides the allowlisted
+// bit-exact helpers, hotalloc/ is hot as a whole package while hotfunc/
+// is hot only at one function, and fmt.Errorf plays the configured-cold
+// callee.
 func fixtureConfig() *Config {
 	return &Config{
 		DeterministicPkgs: []string{"fixture/det", "fixture/multi"},
@@ -20,6 +22,8 @@ func fixtureConfig() *Config {
 			"fixture/floats.BitEqual",
 			"fixture/floats.Vec.BitEq",
 		},
+		HotPaths:     []string{"fixture/hotalloc", "fixture/hotfunc.Step"},
+		HotAllocCold: []string{"fmt.Errorf"},
 	}
 }
 

@@ -21,6 +21,13 @@ var MutexCopyAnalyzer = &Analyzer{
 // Unlock/RUnlock on the same receiver anywhere in the same function. A
 // forgotten unlock deadlocks the checkpoint pipeline the next time the
 // lock is contended — typically in the middle of a snapshot.
+//
+// Deprecated: superseded by LockBalanceAnalyzer, which tracks pairing per
+// control-flow path instead of per function body and therefore catches a
+// lock leaked on only one branch. It is no longer in DefaultAnalyzers —
+// existing //lint:allow deferunlock directives are treated as aliases for
+// lockbalance. Kept exported for callers that want the cheap whole-body
+// check without building CFGs.
 var DeferUnlockAnalyzer = &Analyzer{
 	Name: "deferunlock",
 	Doc:  "flag Lock/RLock without a paired Unlock/RUnlock in the same function",

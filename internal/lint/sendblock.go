@@ -1,0 +1,356 @@
+package lint
+
+// sendblock: goroutine-leak-shaped sends.
+//
+// The target bug is the timeout pattern:
+//
+//	done := make(chan error)        // unbuffered!
+//	go func() { done <- op() }()    // sender
+//	select {
+//	case err := <-done:
+//	case <-time.After(d):
+//	    return ErrTimeout           // receiver gone; sender leaks forever
+//	}
+//
+// For each function the analyzer finds channels that are (a) made
+// unbuffered in this function, (b) never escape it (not returned, stored,
+// or passed to another function — being captured by a go'ed literal is
+// the pattern, not an escape), and (c) sent to from a spawned goroutine.
+// It then runs a must-receive dataflow from the spawn point: if some
+// normal path from the go statement to the function exit performs no
+// receive from that channel, the goroutine can block forever and is
+// reported at the send. A send inside a select that has a default (or
+// any non-blocking alternative) is exempt, as are buffered channels when
+// the number of unreceived sends cannot exceed the buffer — statically
+// approximated as "buffered channels are exempt".
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// SendBlockAnalyzer reports channel sends from spawned goroutines that no
+// receiver is guaranteed to drain on every path of the spawning function.
+var SendBlockAnalyzer = &Analyzer{
+	Name: "sendblock",
+	Doc:  "flags unbuffered-channel sends in spawned goroutines with no live receiver on some path (goroutine leak)",
+	Run:  runSendBlock,
+}
+
+func runSendBlock(pass *Pass) {
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkSendBlock(pass, fn.Body)
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				if fl, ok := n.(*ast.FuncLit); ok {
+					checkSendBlock(pass, fl.Body)
+				}
+				return true
+			})
+		}
+	}
+}
+
+// chanVar resolves an expression to a local channel variable object.
+func chanVar(pass *Pass, e ast.Expr) *types.Var {
+	id, ok := skipParens(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	v, ok := pass.Pkg.Info.ObjectOf(id).(*types.Var)
+	if !ok || v.IsField() {
+		return nil
+	}
+	if _, isChan := v.Type().Underlying().(*types.Chan); !isChan {
+		return nil
+	}
+	return v
+}
+
+// isMakeChan reports whether e is make(chan T[, n]) and whether the
+// buffer is statically zero.
+func isMakeChan(pass *Pass, e ast.Expr) (unbuffered bool, ok bool) {
+	call, isCall := skipParens(e).(*ast.CallExpr)
+	if !isCall {
+		return false, false
+	}
+	id, isIdent := call.Fun.(*ast.Ident)
+	if !isIdent || id.Name != "make" {
+		return false, false
+	}
+	if _, isBuiltin := pass.Pkg.Info.Uses[id].(*types.Builtin); !isBuiltin {
+		return false, false
+	}
+	t := pass.Pkg.Info.Types[call].Type
+	if t == nil {
+		return false, false
+	}
+	if _, isChan := t.Underlying().(*types.Chan); !isChan {
+		return false, false
+	}
+	if len(call.Args) < 2 {
+		return true, true
+	}
+	tv := pass.Pkg.Info.Types[call.Args[1]]
+	if tv.Value != nil && tv.Value.String() == "0" {
+		return true, true
+	}
+	return false, true // buffered (or unknown size): exempt
+}
+
+type sendSite struct {
+	send  *ast.SendStmt
+	inSel bool // inside a select with a default clause (non-blocking)
+}
+
+func checkSendBlock(pass *Pass, body *ast.BlockStmt) {
+	// 1. Find locally-made unbuffered channels.
+	unbuffered := map[*types.Var]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.AssignStmt:
+			if len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for i := range n.Rhs {
+				if unb, ok := isMakeChan(pass, n.Rhs[i]); ok && unb {
+					if v := chanVar(pass, n.Lhs[i]); v != nil {
+						unbuffered[v] = true
+					}
+				}
+			}
+		case *ast.DeclStmt:
+			if gd, ok := n.Decl.(*ast.GenDecl); ok {
+				for _, spec := range gd.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok || len(vs.Names) != len(vs.Values) {
+						continue
+					}
+					for i := range vs.Values {
+						if unb, ok := isMakeChan(pass, vs.Values[i]); ok && unb {
+							if v, ok := pass.Pkg.Info.Defs[vs.Names[i]].(*types.Var); ok {
+								unbuffered[v] = true
+							}
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+	if len(unbuffered) == 0 {
+		return
+	}
+
+	// 2. Drop channels that escape this function: returned, stored into
+	// structures, or passed to calls (other than builtins close/len/cap).
+	// A capture by a go'ed literal stays in scope — that is the pattern.
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ReturnStmt:
+			for _, r := range n.Results {
+				if v := chanVar(pass, r); v != nil {
+					delete(unbuffered, v)
+				}
+			}
+		case *ast.CallExpr:
+			if id, ok := n.Fun.(*ast.Ident); ok {
+				if _, isBuiltin := pass.Pkg.Info.Uses[id].(*types.Builtin); isBuiltin {
+					return true
+				}
+			}
+			for _, a := range n.Args {
+				if v := chanVar(pass, a); v != nil {
+					delete(unbuffered, v)
+				}
+			}
+		case *ast.AssignStmt:
+			// ch2 := ch aliasing, x.f = ch, m[k] = ch: give up on ch.
+			for i, rhs := range n.Rhs {
+				v := chanVar(pass, rhs)
+				if v == nil {
+					continue
+				}
+				if _, unb := unbuffered[v]; !unb {
+					continue
+				}
+				if isMake, _ := isMakeChan(pass, rhs); isMake {
+					continue
+				}
+				_ = i
+				delete(unbuffered, v)
+			}
+		case *ast.SendStmt:
+			// ch <- x where x is itself a channel: x escapes.
+			if v := chanVar(pass, n.Value); v != nil {
+				delete(unbuffered, v)
+			}
+		}
+		return true
+	})
+	if len(unbuffered) == 0 {
+		return
+	}
+
+	// 3. Collect sends on tracked channels inside go'ed function literals,
+	// noting whether each send sits under a select with a default.
+	sends := map[*types.Var][]sendSite{}
+	spawnStmt := map[*types.Var]ast.Node{} // the go statement that spawns the sender
+	var scanGoroutine func(v *types.Var, goStmt *ast.GoStmt, fl *ast.FuncLit)
+	scanGoroutine = func(v *types.Var, goStmt *ast.GoStmt, fl *ast.FuncLit) {
+		var walk func(n ast.Node, nonBlocking bool)
+		walk = func(n ast.Node, nonBlocking bool) {
+			ast.Inspect(n, func(m ast.Node) bool {
+				switch m := m.(type) {
+				case *ast.SelectStmt:
+					hasDefault := false
+					for _, c := range m.Body.List {
+						if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+							hasDefault = true
+						}
+					}
+					for _, c := range m.Body.List {
+						walk(c, nonBlocking || hasDefault)
+					}
+					return false
+				case *ast.SendStmt:
+					if sv := chanVar(pass, m.Chan); sv == v {
+						sends[v] = append(sends[v], sendSite{send: m, inSel: nonBlocking})
+						spawnStmt[v] = goStmt
+					}
+				}
+				return true
+			})
+		}
+		walk(fl.Body, false)
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		goStmt, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		if fl, ok := goStmt.Call.Fun.(*ast.FuncLit); ok {
+			for v := range unbuffered {
+				scanGoroutine(v, goStmt, fl)
+			}
+		}
+		return true
+	})
+	if len(sends) == 0 {
+		return
+	}
+
+	// 4. Must-receive dataflow: from each spawn point, is a receive from v
+	// performed on every normal path to exit?
+	g := buildCFG(body)
+	for v, sites := range sends {
+		blocking := sites[:0]
+		for _, s := range sites {
+			if !s.inSel {
+				blocking = append(blocking, s)
+			}
+		}
+		if len(blocking) == 0 {
+			continue
+		}
+		if !mustReceiveAfter(pass, g, spawnStmt[v], v) {
+			for _, s := range blocking {
+				pass.Reportf(s.send.Pos(),
+					"send on unbuffered %s from a spawned goroutine, but the spawner does not receive on every path; the goroutine can leak (buffer the channel or drain it on all paths)",
+					v.Name())
+			}
+		}
+	}
+}
+
+// mustReceiveAfter checks that starting at the CFG node containing spawn,
+// every normal path to Exit performs a receive from v. State: "received
+// yet?" — the set solver keeps both values if paths diverge, so a false
+// at Exit means some path skipped the receive.
+func mustReceiveAfter(pass *Pass, g *CFG, spawn ast.Node, v *types.Var) bool {
+	// Locate the spawn block and node index.
+	var spawnBlock *Block
+	spawnIdx := -1
+	for _, b := range g.Blocks {
+		for i, n := range b.Nodes {
+			if n == spawn {
+				spawnBlock, spawnIdx = b, i
+				break
+			}
+		}
+	}
+	if spawnBlock == nil {
+		return false
+	}
+
+	receives := func(n ast.Node) bool {
+		got := false
+		inspectShallow(n, func(m ast.Node) bool {
+			switch m := m.(type) {
+			case *ast.UnaryExpr:
+				if m.Op == token.ARROW {
+					if rv := chanVar(pass, m.X); rv == v {
+						got = true
+					}
+				}
+			case *ast.RangeStmt:
+				if rv := chanVar(pass, m.X); rv == v {
+					got = true
+				}
+			}
+			return true
+		})
+		return got
+	}
+
+	// Seed: advance through the rest of the spawn block.
+	state := false
+	for i := spawnIdx + 1; i < len(spawnBlock.Nodes); i++ {
+		if receives(spawnBlock.Nodes[i]) {
+			state = true
+		}
+	}
+
+	// BFS over paths with a received/not-received bit per block; a block
+	// can be visited in both states.
+	type bs struct {
+		b   *Block
+		got bool
+	}
+	if len(spawnBlock.Succs) == 0 {
+		return state
+	}
+	seen := map[bs]bool{}
+	var stack []bs
+	for _, s := range spawnBlock.Succs {
+		stack = append(stack, bs{s, state})
+	}
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if seen[cur] {
+			continue
+		}
+		seen[cur] = true
+		got := cur.got
+		for _, n := range cur.b.Nodes {
+			if !got && receives(n) {
+				got = true
+			}
+		}
+		if cur.b == g.Exit && !got {
+			return false
+		}
+		for _, s := range cur.b.Succs {
+			stack = append(stack, bs{s, got})
+		}
+	}
+	return true
+}

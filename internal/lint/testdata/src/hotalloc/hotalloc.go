@@ -1,0 +1,113 @@
+// Package hotalloc is a lint fixture for the hot-path allocation
+// classifier: the whole package is declared hot in the test config, so
+// every allocation site is classified — escaping sites and non-constant
+// sizes fire, fresh-result returns and constant-size stack values do not.
+package hotalloc
+
+import "fmt"
+
+// sink keeps escaping values alive for the fixture.
+var sink []byte
+
+// Result is the fresh-result shape: a composite built and returned.
+type Result struct {
+	Idx  []int32
+	Vals []float32
+}
+
+// EscapingMake stores a non-constant make beyond the frame (violation).
+func EscapingMake(n int) {
+	buf := make([]byte, n)
+	sink = buf
+}
+
+// ConstStack keeps a constant-size buffer local (allowed: stack).
+func ConstStack() int {
+	var total int
+	buf := make([]byte, 64)
+	for i := range buf {
+		total += int(buf[i])
+	}
+	return total
+}
+
+// FreshResult builds and returns a new value; the makes feeding its
+// fields inherit the return exemption (allowed: fresh-result ownership).
+func FreshResult(n int) *Result {
+	out := &Result{}
+	out.Idx = make([]int32, 0, n)
+	out.Vals = make([]float32, 0, n)
+	return out
+}
+
+// GrowingAppend appends to a dst with no capacity provenance (violation).
+func GrowingAppend(src []int32) int {
+	var acc []int32
+	for _, v := range src {
+		if v > 0 {
+			acc = append(acc, v)
+		}
+	}
+	return len(acc)
+}
+
+// PreSizedAppend appends to a three-arg make and returns the result: the
+// append never grows and the make is the fresh result (allowed).
+func PreSizedAppend(src []int32) []int32 {
+	acc := make([]int32, 0, len(src))
+	for _, v := range src {
+		if v > 0 {
+			acc = append(acc, v)
+		}
+	}
+	return acc
+}
+
+// CloneIdiom copies via append to a nil literal and returns the clone
+// (allowed: fresh result).
+func CloneIdiom(src []int32) []int32 {
+	return append([]int32(nil), src...)
+}
+
+// ClosureInLoop allocates a function literal per iteration (violation).
+func ClosureInLoop(n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		add := func(v int) { total += v }
+		add(i)
+	}
+	return total
+}
+
+// HoistedClosure allocates the literal once, outside the loop (allowed).
+func HoistedClosure(n int) int {
+	total := 0
+	add := func(v int) { total += v }
+	for i := 0; i < n; i++ {
+		add(i)
+	}
+	return total
+}
+
+// Boxing passes a non-constant integer to an interface parameter, which
+// heap-boxes it (violation).
+func Boxing(iter int64) {
+	record("iter", iter)
+}
+
+// ColdCallee builds an error through a configured-cold constructor
+// (allowed: fmt.Errorf is cold in the test config).
+func ColdCallee(n int) error {
+	if n < 0 {
+		return fmt.Errorf("hotalloc: negative %d", n)
+	}
+	return nil
+}
+
+// Suppressed carries a justified directive (allowed: suppressed).
+func Suppressed(n int) {
+	buf := make([]byte, n) //lint:allow hotalloc fixture: escape is the point of this fixture
+	sink = buf
+}
+
+func record(key string, v any) { _, _ = key, v }

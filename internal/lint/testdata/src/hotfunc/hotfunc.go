@@ -1,0 +1,17 @@
+// Package hotfunc is a lint fixture for function-granular hot-path
+// entries: only Step is declared hot in the test config, so the identical
+// allocation in Helper stays silent.
+package hotfunc
+
+// kept keeps escaping values alive for the fixture.
+var kept map[string]int
+
+// Step is configured hot; the escaping map literal fires (violation).
+func Step(t int) {
+	kept = map[string]int{"iter": t}
+}
+
+// Helper is not configured hot; the same shape is silent (allowed).
+func Helper(t int) {
+	kept = map[string]int{"iter": t}
+}

@@ -1,0 +1,107 @@
+// Package sendblock is a lint fixture for goroutine leaks through
+// unbuffered channels: a spawned sender whose spawner skips the receive
+// on some path blocks forever. Buffered channels, always-received
+// channels, select-with-default senders, and escaping channels are the
+// true negatives.
+package sendblock
+
+import "time"
+
+// TimeoutSkipsReceive spawns a sender on an unbuffered channel but
+// abandons it on the timeout arm (violation: the goroutine leaks).
+func TimeoutSkipsReceive(op func() error, d time.Duration) error {
+	done := make(chan error)
+	go func() {
+		done <- op()
+	}()
+	select {
+	case err := <-done:
+		return err
+	case <-time.After(d):
+		return nil
+	}
+}
+
+// EarlyReturnSkipsReceive receives on the fall-through path only
+// (violation: the early return leaks the sender).
+func EarlyReturnSkipsReceive(op func() error, skip bool) error {
+	done := make(chan error)
+	go func() {
+		done <- op()
+	}()
+	if skip {
+		return nil
+	}
+	return <-done
+}
+
+// BufferedTimeout is the same timeout shape with a one-slot buffer; the
+// sender completes whether or not anyone receives (allowed).
+func BufferedTimeout(op func() error, d time.Duration) error {
+	done := make(chan error, 1)
+	go func() {
+		done <- op()
+	}()
+	select {
+	case err := <-done:
+		return err
+	case <-time.After(d):
+		return nil
+	}
+}
+
+// AlwaysReceived receives on every path to return (allowed).
+func AlwaysReceived(op func() error) error {
+	done := make(chan error)
+	go func() {
+		done <- op()
+	}()
+	return <-done
+}
+
+// SelectDefaultSender sends best-effort: the default arm means the
+// goroutine never blocks even if the spawner is gone (allowed).
+func SelectDefaultSender(events chan<- string, skip bool) {
+	note := make(chan string)
+	go func() {
+		select {
+		case note <- "tick":
+		default:
+		}
+	}()
+	if skip {
+		return
+	}
+	select {
+	case s := <-note:
+		events <- s
+	default:
+	}
+}
+
+// RangeDrain drains the channel with a range loop on every path
+// (allowed).
+func RangeDrain(parts []int) int {
+	out := make(chan int)
+	go func() {
+		for _, p := range parts {
+			out <- p
+		}
+		close(out)
+	}()
+	total := 0
+	for v := range out {
+		total += v
+	}
+	return total
+}
+
+// EscapesToCaller hands the channel out; receives are the caller's
+// business, so local analysis stays silent (allowed).
+func EscapesToCaller(op func() error) <-chan error {
+	done := make(chan error)
+	go func() {
+		done <- op()
+	}()
+	return done
+}

@@ -40,3 +40,24 @@ func MultiRule(w io.WriteCloser, a, b float64) bool {
 	defer w.Close() //lint:allow checkederr,floateq fixture: both rules waived for this pair of lines
 	return a == b
 }
+
+// MultiLineStatement suppresses a finding on a continuation line: the
+// directive covers the full line span of the statement that starts
+// directly under it (no finding).
+func MultiLineStatement(a, b float64) []bool {
+	//lint:allow floateq fixture: continuation lines of the statement below are covered
+	return []bool{
+		a == b,
+	}
+}
+
+// MultiLineFuncLit does NOT extend into a statement containing a function
+// literal — the body is a different scope and would make the directive a
+// blanket waiver — so the finding inside survives (violation).
+func MultiLineFuncLit(a, b float64) func() bool {
+	//lint:allow floateq fixture: must not leak into the literal body
+	cmp := func() bool {
+		return a == b
+	}
+	return cmp
+}

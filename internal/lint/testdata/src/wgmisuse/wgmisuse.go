@@ -1,0 +1,102 @@
+// Package wgmisuse is a lint fixture for sync.WaitGroup misuse: Add
+// inside the goroutine it accounts for, Add reachable after Wait on the
+// same path, and value copies — plus the balanced shapes, including an
+// early return that separates Wait and Add onto different paths and a
+// loop whose Wait-to-Add edge is only the back edge.
+package wgmisuse
+
+import "sync"
+
+// AddInsideGoroutine moves Add into the spawned goroutine, racing with
+// Wait (violation).
+func AddInsideGoroutine(work []func()) {
+	var wg sync.WaitGroup
+	for _, f := range work {
+		go func(f func()) {
+			wg.Add(1)
+			defer wg.Done()
+			f()
+		}(f)
+	}
+	wg.Wait()
+}
+
+// AddAfterWait re-arms the group after the waiter may have returned
+// (violation).
+func AddAfterWait(f func()) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		f()
+	}()
+	wg.Wait()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		f()
+	}()
+	wg.Wait()
+}
+
+// CopiesGroup assigns a WaitGroup by value; the copy's counter is
+// independent (violation).
+func CopiesGroup() {
+	var wg sync.WaitGroup
+	wg2 := wg
+	wg2.Wait()
+}
+
+// Balanced is the classic shape: Add before go, Done inside, Wait after
+// (allowed).
+func Balanced(work []func()) {
+	var wg sync.WaitGroup
+	for _, f := range work {
+		wg.Add(1)
+		go func(f func()) {
+			defer wg.Done()
+			f()
+		}(f)
+	}
+	wg.Wait()
+}
+
+// WaitOnEarlyReturnPath waits only on the early-return path, so no Add is
+// reachable after a Wait on the same path (allowed).
+func WaitOnEarlyReturnPath(drain bool, f func()) {
+	var wg sync.WaitGroup
+	if drain {
+		wg.Wait()
+		return
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		f()
+	}()
+	wg.Wait()
+}
+
+// RoundsReuse re-arms the group each loop iteration; Wait reaches the
+// next Add only via the loop back edge, which is not a same-path ordering
+// (allowed).
+func RoundsReuse(rounds int, f func()) {
+	var wg sync.WaitGroup
+	for i := 0; i < rounds; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			f()
+		}()
+		wg.Wait()
+	}
+}
+
+// SharedByPointer hands the group to workers by pointer (allowed).
+func SharedByPointer(wg *sync.WaitGroup, f func()) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		f()
+	}()
+}

@@ -146,6 +146,7 @@ func (p *Pool) ForEach(n int, fn func(shard, lo, hi int)) {
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
+		//lint:allow hotalloc one bounded worker spawn per dispatch, amortized over the whole shard sweep
 		go func() {
 			defer wg.Done()
 			for {

@@ -76,6 +76,17 @@ func (r *Recorder) Begin(track, name string, args map[string]interface{}) func()
 	return func() { r.Span(track, name, start, args) }
 }
 
+// Begin1 is Begin with a single integer argument. Building the args map
+// lazily inside the span closure keeps a disabled recorder's fast path
+// (r == nil — the common case in production step loops) allocation-free.
+func (r *Recorder) Begin1(track, name, key string, v int64) func() {
+	if r == nil {
+		return func() {}
+	}
+	start := r.now()
+	return func() { r.Span(track, name, start, map[string]interface{}{key: v}) }
+}
+
 // Events returns a copy of the recorded events sorted by start time.
 func (r *Recorder) Events() []Event {
 	if r == nil {

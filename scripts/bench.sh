@@ -11,6 +11,12 @@
 # Run from the repository root. The baselines are checked in so reviewers can
 # spot order-of-magnitude regressions in diffs; ns/op values are machine-
 # dependent and only comparable against runs on the same hardware.
+#
+# Before any baseline is rewritten, the pooled-merge benchmark is re-run
+# against the CHECKED-IN BENCH_dataplane.json and its allocs/op and B/op
+# gated (ns/op never is — see cmd/benchfmt). Set GATE_BENCHTIME to trade
+# gate runtime for stability, or SKIP_ALLOC_GATE=1 to bypass when
+# deliberately re-baselining a known regression.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -18,6 +24,13 @@ cd "$(dirname "$0")/.."
 BENCHTIME="${BENCHTIME:-1s}"
 BENCH_OUT="${BENCH_OUT:-BENCH_obs.json}"
 BENCH_DATAPLANE_OUT="${BENCH_DATAPLANE_OUT:-BENCH_dataplane.json}"
+GATE_BENCHTIME="${GATE_BENCHTIME:-100x}"
+
+if [ "${SKIP_ALLOC_GATE:-0}" != "1" ] && [ -f BENCH_dataplane.json ]; then
+    echo "== allocs/op gate: pooled merge vs checked-in BENCH_dataplane.json (benchtime $GATE_BENCHTIME) ==" >&2
+    go test -run '^$' -bench 'DataplaneCompressMerge' -benchmem -benchtime "$GATE_BENCHTIME" ./internal/compress |
+        go run ./cmd/benchfmt -gate BENCH_dataplane.json -gate-match kway-pooled -slack 0.25
+fi
 
 tmp=$(mktemp)
 trap 'rm -f "$tmp"' EXIT

@@ -17,7 +17,7 @@ fi
 echo "== go vet =="
 go vet ./...
 
-echo "== lowdifflint (determinism, checkederr, floateq, mutexcopy, deferunlock) =="
+echo "== lowdifflint (determinism, checkederr, floateq, mutexcopy, lockbalance, hotalloc, wgmisuse, sendblock) =="
 go run ./cmd/lowdifflint ./...
 
 echo "== go test -race (core, storage, recovery, obs, data plane, peer comm, cluster sim) =="

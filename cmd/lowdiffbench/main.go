@@ -18,6 +18,7 @@ import (
 
 	"lowdiff/internal/experiments"
 	"lowdiff/internal/obs"
+	"lowdiff/internal/trace"
 )
 
 func main() {
@@ -28,9 +29,16 @@ func main() {
 	parallelism := flag.Int("parallelism", runtime.NumCPU(),
 		"data-plane pool workers for the functional experiments (1: serial; results are bit-identical either way)")
 	opsAddr := flag.String("ops-addr", "", "serve /metrics, /healthz, /snapshot, and pprof on this address while experiments run (empty: off)")
+	traceOut := flag.String("trace-out", "", "write the functional experiments' span timeline as JSONL to this file (input for lowdifftrace)")
 	flag.Parse()
 
 	experiments.SetParallelism(*parallelism)
+
+	var rec *trace.Recorder
+	if *traceOut != "" {
+		rec = trace.New()
+		experiments.SetTrace(rec)
+	}
 
 	var reg *obs.Registry
 	if *opsAddr != "" {
@@ -38,12 +46,13 @@ func main() {
 		srv, err := obs.Serve(*opsAddr, obs.ServerOptions{
 			Registry: reg,
 			Health:   func() obs.HealthStatus { return obs.HealthStatus{Status: "ok", OK: true} },
+			Trace:    rec,
 		})
 		if err != nil {
 			fatal(err)
 		}
 		defer func() { _ = srv.Close() }()
-		fmt.Fprintf(os.Stderr, "ops endpoint on http://%s (/metrics, /healthz, /snapshot, /debug/pprof)\n", srv.Addr())
+		fmt.Fprintf(os.Stderr, "ops endpoint on http://%s (/metrics, /healthz, /snapshot, /trace, /debug/pprof)\n", srv.Addr())
 	}
 
 	render := func(t *experiments.Table) error {
@@ -90,6 +99,22 @@ func main() {
 	default:
 		flag.Usage()
 		os.Exit(2)
+	}
+
+	if rec != nil {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := rec.WriteJSONL(f); err != nil {
+			_ = f.Close() // trace write failed; that error is primary
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "%d spans written to %s (analyze with: lowdifftrace report %s)\n",
+			rec.Len(), *traceOut, *traceOut)
 	}
 }
 

@@ -1,0 +1,129 @@
+// Command lowdifftrace analyzes step-phase timelines recorded by the
+// trace package: per-phase latency distributions, the critical path of
+// each training step, and overlap gaps (train stalled while checkpointing
+// or persistence was busy, and checkpoint work that overlapped training).
+//
+// It accepts either serialization the trainer writes: span JSONL
+// (-trace-out) or Chrome trace JSON (-trace, or the ops /trace endpoint).
+// Reports are deterministic: the same trace bytes produce the same report
+// bytes, so goldens and CI diffs are stable.
+//
+// Usage:
+//
+//	lowdifftrace report run.jsonl            # text report
+//	lowdifftrace report -json run.jsonl      # machine-readable profile
+//	lowdifftrace diff base.jsonl new.jsonl   # phase-by-phase comparison
+//	lowdifftrace phases                      # list the canonical taxonomy
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"lowdiff/internal/trace"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	switch os.Args[1] {
+	case "report":
+		cmdReport(os.Args[2:])
+	case "diff":
+		cmdDiff(os.Args[2:])
+	case "phases":
+		cmdPhases()
+	case "-h", "-help", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "lowdifftrace: unknown command %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage:
+  lowdifftrace report [-json] <trace-file>
+  lowdifftrace diff [-json] <trace-a> <trace-b>
+  lowdifftrace phases
+
+Trace files may be span JSONL (lowdifftrain -trace-out) or Chrome trace
+JSON (lowdifftrain -trace, or a saved ops /trace response).
+`)
+}
+
+func cmdReport(args []string) {
+	fs := flag.NewFlagSet("report", flag.ExitOnError)
+	asJSON := fs.Bool("json", false, "emit the profile as JSON instead of text")
+	_ = fs.Parse(args)
+	if fs.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "lowdifftrace: report needs exactly one trace file")
+		os.Exit(2)
+	}
+	p := loadProfile(fs.Arg(0))
+	var err error
+	if *asJSON {
+		err = p.WriteJSON(os.Stdout)
+	} else {
+		err = p.WriteText(os.Stdout)
+	}
+	if err != nil {
+		fatal(err)
+	}
+}
+
+func cmdDiff(args []string) {
+	fs := flag.NewFlagSet("diff", flag.ExitOnError)
+	asJSON := fs.Bool("json", false, "emit the diff as JSON instead of text")
+	_ = fs.Parse(args)
+	if fs.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "lowdifftrace: diff needs exactly two trace files")
+		os.Exit(2)
+	}
+	d := trace.DiffProfiles(loadProfile(fs.Arg(0)), loadProfile(fs.Arg(1)))
+	var err error
+	if *asJSON {
+		err = d.WriteJSON(os.Stdout)
+	} else {
+		err = d.WriteText(os.Stdout)
+	}
+	if err != nil {
+		fatal(err)
+	}
+}
+
+func cmdPhases() {
+	fmt.Println("canonical step phases (see DESIGN.md §10):")
+	for _, p := range trace.CanonicalPhases() {
+		kind := "working"
+		if trace.IsStall(p) {
+			kind = "stall"
+		}
+		fmt.Printf("  %-12s %s\n", p, kind)
+	}
+}
+
+func loadProfile(path string) *trace.Profile {
+	f, err := os.Open(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer func() { _ = f.Close() }()
+	events, err := trace.ReadEvents(f)
+	if err != nil {
+		fatal(fmt.Errorf("%s: %w", path, err))
+	}
+	if len(events) == 0 {
+		fatal(fmt.Errorf("%s: no spans in trace", path))
+	}
+	return trace.BuildProfile(events)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "lowdifftrace:", err)
+	os.Exit(1)
+}

@@ -14,6 +14,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"strings"
@@ -50,6 +51,7 @@ func main() {
 	peerCorrupt := flag.Float64("peer-corrupt", 0, "probability a retained payload is corrupted (chaos)")
 	seed := flag.Uint64("seed", 42, "deterministic seed")
 	traceOut := flag.String("trace", "", "write a Chrome trace of the run to this file")
+	traceJSONL := flag.String("trace-out", "", "write the span timeline as JSONL to this file (input for lowdifftrace)")
 	opsAddr := flag.String("ops-addr", "", "serve /metrics, /healthz, /snapshot, and pprof on this address (empty: off)")
 	eventsOut := flag.String("events", "", "append structured JSONL run events to this file (empty: off)")
 	flag.Parse()
@@ -63,6 +65,25 @@ func main() {
 		store = fs
 	}
 
+	var rec *trace.Recorder
+	if *traceOut != "" || *traceJSONL != "" {
+		rec = trace.New()
+	}
+	writeTraces := func() {
+		if rec == nil {
+			return
+		}
+		if *traceOut != "" {
+			writeTraceFile(*traceOut, rec.WriteChromeTrace)
+			fmt.Printf("timeline (%s) written to %s\n", rec.Summary(), *traceOut)
+		}
+		if *traceJSONL != "" {
+			writeTraceFile(*traceJSONL, rec.WriteJSONL)
+			fmt.Printf("%d spans written to %s (analyze with: lowdifftrace report %s)\n",
+				rec.Len(), *traceJSONL, *traceJSONL)
+		}
+	}
+
 	if *doRecover {
 		if *dir == "" {
 			fatal(fmt.Errorf("-recover needs -dir"))
@@ -71,7 +92,7 @@ func main() {
 		var applied int
 		var err error
 		if *parallel {
-			st, applied, err = recovery.LatestParallel(store, recovery.Options{Parallelism: 8})
+			st, applied, err = recovery.LatestParallel(store, recovery.Options{Parallelism: 8, Trace: rec})
 		} else {
 			st, applied, err = recovery.Latest(store)
 		}
@@ -81,6 +102,7 @@ func main() {
 		fmt.Printf("recovered to iteration %d (%d differential records applied)\n", st.Iter, applied)
 		fmt.Printf("parameters: %d floats, optimizer %q at step %d\n",
 			len(st.Params), st.Opt.Name, st.Opt.Step)
+		writeTraces()
 		return
 	}
 
@@ -121,15 +143,12 @@ func main() {
 	}
 
 	if *plus {
-		runPlus(scaled, store, *workers, *iters, *parallelism, *seed, *opsAddr, reg, events)
+		runPlus(scaled, store, *workers, *iters, *parallelism, *seed, *opsAddr, reg, events, rec)
+		writeTraces()
 		closeEvents()
 		return
 	}
 
-	var rec *trace.Recorder
-	if *traceOut != "" {
-		rec = trace.New()
-	}
 	var peerSpec *core.PeerSpec
 	if *peer {
 		crashes, err := parsePeerCrashes(*peerCrash)
@@ -160,12 +179,13 @@ func main() {
 				h := e.Health()
 				return obs.HealthStatus{Status: h.String(), OK: h != core.HealthDegraded}
 			},
+			Trace: rec,
 		})
 		if err != nil {
 			fatal(err)
 		}
 		defer func() { _ = srv.Close() }()
-		fmt.Printf("ops endpoint on http://%s (/metrics, /healthz, /snapshot, /debug/pprof)\n", srv.Addr())
+		fmt.Printf("ops endpoint on http://%s (/metrics, /healthz, /snapshot, /trace, /debug/pprof)\n", srv.Addr())
 	}
 
 	run := *iters
@@ -185,20 +205,7 @@ func main() {
 	if *peer {
 		reportPeerRecovery(e, store)
 	}
-	if rec != nil {
-		f, err := os.Create(*traceOut)
-		if err != nil {
-			fatal(err)
-		}
-		if err := rec.WriteChromeTrace(f); err != nil {
-			_ = f.Close() // trace write failed; that error is primary
-			fatal(err)
-		}
-		if err := f.Close(); err != nil {
-			fatal(err)
-		}
-		fmt.Printf("timeline (%s) written to %s\n", rec.Summary(), *traceOut)
-	}
+	writeTraces()
 	closeEvents()
 	if *crash > 0 && *crash < *iters {
 		fmt.Printf("simulated crash at iteration %d; recover with:\n  lowdifftrain -dir %s -recover\n", run, *dir)
@@ -245,11 +252,11 @@ func reportPeerRecovery(e *core.Engine, store storage.Store) {
 }
 
 func runPlus(spec model.Spec, store storage.Store, workers, iters, parallelism int, seed uint64,
-	opsAddr string, reg *obs.Registry, events *obs.EventLog) {
+	opsAddr string, reg *obs.Registry, events *obs.EventLog, rec *trace.Recorder) {
 	e, err := core.NewPlusEngine(core.PlusOptions{
 		Spec: spec, Workers: workers, Store: store, PersistEvery: 10,
 		Parallelism: parallelism, Seed: seed,
-		Metrics: reg, Events: events,
+		Trace: rec, Metrics: reg, Events: events,
 	})
 	if err != nil {
 		fatal(err)
@@ -260,6 +267,7 @@ func runPlus(spec model.Spec, store storage.Store, workers, iters, parallelism i
 		srv, err := obs.Serve(opsAddr, obs.ServerOptions{
 			Registry: reg,
 			Health:   func() obs.HealthStatus { return obs.HealthStatus{Status: "ok", OK: true} },
+			Trace:    rec,
 		})
 		if err != nil {
 			fatal(err)
@@ -281,6 +289,21 @@ func runPlus(spec model.Spec, store storage.Store, workers, iters, parallelism i
 		match = "DIVERGED"
 	}
 	fmt.Printf("in-memory recovery check: replica vs model %s\n", match)
+}
+
+// writeTraceFile writes one trace serialization to path.
+func writeTraceFile(path string, write func(w io.Writer) error) {
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	if err := write(f); err != nil {
+		_ = f.Close() // trace write failed; that error is primary
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
 }
 
 func byteCount(b int64) string {

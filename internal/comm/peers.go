@@ -8,6 +8,14 @@ import (
 	"sync/atomic"
 
 	"lowdiff/internal/compress"
+	"lowdiff/internal/trace"
+)
+
+// Trace constants for the retain plane, aliased from the canonical
+// taxonomy so comm call sites read locally.
+const (
+	TrackRetain = trace.TrackComm
+	PhaseRetain = trace.PhaseRetain
 )
 
 // ErrNoSurvivingPeer reports that no surviving peer's window can extend the
@@ -29,6 +37,11 @@ type Peers struct {
 	// it becomes visible at the rank's next retain.
 	mu      sync.Mutex
 	pending []*pendingRetain
+
+	// Trace, when non-nil, records a comm/retain span per Retain call
+	// (the peer plane's per-iteration checkpoint cost). Set it before
+	// the first Retain; a nil recorder adds nothing to the hot path.
+	Trace *trace.Recorder
 }
 
 type pendingRetain struct {
@@ -121,6 +134,8 @@ func (p *Peers) Retain(rank int, iter int64, grad *compress.Compressed) error {
 	if rank < 0 || rank >= len(p.windows) {
 		return fmt.Errorf("comm: retain rank %d out of range [0,%d)", rank, len(p.windows))
 	}
+	done := p.Trace.Begin2(TrackRetain, PhaseRetain, "iter", iter, "rank", int64(rank))
+	defer done()
 	if p.crashed[rank].Load() {
 		return nil // dead peers retain nothing
 	}

@@ -9,6 +9,7 @@ import (
 	"lowdiff/internal/obs"
 	"lowdiff/internal/parallel"
 	"lowdiff/internal/storage"
+	"lowdiff/internal/trace"
 )
 
 // BatchedWriter implements the batched gradient writing optimization
@@ -45,6 +46,10 @@ type BatchedWriter struct {
 	// its workers; the flushed bytes are identical to the serial writer's.
 	// Set it before the first Add.
 	Pool *parallel.Pool
+
+	// Trace, when non-nil, records checkpoint/merge and persist/diff-write
+	// spans for every flushed batch. Set it before the first Add.
+	Trace *trace.Recorder
 
 	// Writes counts store writes, Batches full-size flushes, Bytes the
 	// payload bytes persisted; PendingBytes gauges CPU-buffer occupancy
@@ -115,7 +120,10 @@ func (w *BatchedWriter) Drop() {
 }
 
 func (w *BatchedWriter) flush() error {
+	mergeDone := w.Trace.Begin2(trace.TrackCheckpoint, trace.PhaseMerge,
+		"iter", w.lastIter, "count", int64(len(w.pending)))
 	merged, err := compress.MergeWith(w.Pool, w.pending...)
+	mergeDone()
 	if err != nil {
 		return fmt.Errorf("core: batch merge: %w", err)
 	}
@@ -130,11 +138,14 @@ func (w *BatchedWriter) flush() error {
 		_, err := checkpoint.SaveDiffWith(w.store, d, w.Pool)
 		return err
 	}
+	writeDone := w.Trace.Begin2(trace.TrackPersist, trace.PhaseDiffWrite,
+		"iter", w.lastIter, "first", w.firstIter)
 	if w.Retry != nil {
 		err = w.Retry.Do(persist, w.OnRetry)
 	} else {
 		err = persist()
 	}
+	writeDone()
 	if err != nil {
 		return fmt.Errorf("core: batch write: %w", err)
 	}

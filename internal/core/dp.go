@@ -11,6 +11,7 @@ import (
 	"lowdiff/internal/obs"
 	"lowdiff/internal/optim"
 	"lowdiff/internal/tensor"
+	"lowdiff/internal/trace"
 )
 
 // Data-parallel LowDiff (§4): Workers lock-step ranks with Top-K gradient
@@ -144,46 +145,51 @@ type dpRank struct {
 
 func (r *dpRank) step(rc *runCtx, t int64) error {
 	e, w := r.e, r.w
+	tr := e.trace0(w)
 	var iterDone func()
 	if w == 0 {
 		e.live.Store(t)
 		if t%int64(e.opts.FullEvery) == 0 {
 			e.events.Emit("train.milestone", map[string]any{"iter": t})
 		}
-		iterDone = e.opts.Trace.Begin1("train", "iteration", "iter", t)
+		iterDone = tr.Begin1(trace.TrackTrain, trace.PhaseIteration, "iter", t)
 	}
 	// Backward pass.
+	computeDone := tr.Begin1(trace.TrackTrain, trace.PhaseCompute, "iter", t)
 	if err := e.oracle.Local(r.p.Flat, w, int(t), r.g); err != nil {
 		return err
 	}
+	computeDone()
 	// Compress.
+	compressDone := tr.Begin1(trace.TrackTrain, trace.PhaseCompress, "iter", t)
 	local, err := e.comps[w].Compress(r.g)
+	compressDone()
 	if err != nil {
 		return err
 	}
 	// Synchronize.
-	var syncDone func()
-	if w == 0 {
-		syncDone = e.opts.Trace.Begin("train", "sync", nil)
-	}
+	syncDone := tr.Begin1(trace.TrackTrain, trace.PhaseAllGather, "iter", t)
 	synced, err := e.group.AllGatherSparse(w, local)
-	if w == 0 {
-		syncDone()
-	}
+	syncDone()
 	if err != nil {
 		return err
 	}
 	// Reuse: zero-copy hand-off to the checkpointing process
 	// (LowDiff path; Naïve DC checkpoints after the update).
 	if w == 0 && rc.queue != nil && !e.opts.NaiveDC {
-		if err := rc.queue.Put(Item{Iter: t, Layer: -1, Grad: synced}); err != nil {
+		putDone := tr.Begin1(trace.TrackTrain, trace.PhaseQueueWait, "iter", t)
+		err := rc.queue.Put(Item{Iter: t, Layer: -1, Grad: synced})
+		putDone()
+		if err != nil {
 			return err
 		}
 	}
 	// Decompress + update (StepSparse fuses the two).
+	applyDone := tr.Begin1(trace.TrackTrain, trace.PhaseApply, "iter", t)
 	if err := applyCompressed(r.o, r.p.Flat, synced, e.pool); err != nil {
 		return err
 	}
+	applyDone()
 	// Naïve DC: compute and compress the state delta — this is
 	// the compression stall of §3.1 Challenge 1, paid inline.
 	if r.prev != nil {
@@ -208,6 +214,7 @@ func (r *dpRank) step(rc *runCtx, t int64) error {
 	if w == 0 && e.opts.Store != nil {
 		fallback := e.needFull.CompareAndSwap(true, false)
 		if fallback || t%int64(e.opts.FullEvery) == 0 {
+			snapDone := tr.Begin1(trace.TrackTrain, trace.PhaseSnapshot, "iter", t)
 			var full *checkpoint.Full
 			e.FullSnapshotTimer.Time(func() {
 				//lint:allow hotalloc full-checkpoint path runs every FullEvery iterations; ownership moves to the persist goroutine
@@ -217,6 +224,7 @@ func (r *dpRank) step(rc *runCtx, t int64) error {
 					Opt:    r.o.Snapshot(),
 				}
 			})
+			snapDone()
 			r.chain.fullCh <- full
 		}
 	}
@@ -333,7 +341,9 @@ func (s *chainSnapshotter) consumeDiffs(rc *runCtx) {
 		e.needFull.Store(true)
 	}
 	for {
+		getDone := e.opts.Trace.Begin(trace.TrackCheckpoint, trace.PhaseQueueWait, nil)
 		it, err := rc.queue.Get()
+		getDone()
 		if err != nil {
 			return // closed and drained
 		}
@@ -351,10 +361,7 @@ func (s *chainSnapshotter) consumeDiffs(rc *runCtx) {
 			}
 			suspended = false
 		}
-		writeDone := e.opts.Trace.Begin("checkpoint", "diff-add",
-			map[string]interface{}{"iter": it.Iter})
 		err = e.writer.Add(it.Iter, it.Grad)
-		writeDone()
 		if err != nil {
 			if e.ft == nil {
 				rc.errCh <- err

@@ -93,9 +93,15 @@ type Options struct {
 	Seed  uint64
 	Noise float64 // per-worker gradient noise half-width (default 0.05)
 
-	// Trace, when non-nil, records an execution timeline (iterations,
-	// synchronization, queue hand-offs, checkpoint writes) exportable as a
-	// Chrome trace. Nil disables tracing with zero overhead.
+	// Trace, when non-nil, records an execution timeline through the
+	// canonical phase taxonomy (trace.Phase*: compute, compress,
+	// allgather, apply, snapshot, merge, diff/full writes, queue waits),
+	// exportable as a Chrome trace or span JSONL and analyzable with
+	// trace.BuildProfile / cmd/lowdifftrace. Worker/stage 0 records the
+	// train-track spans; the checkpoint, snapshot, and persist tracks are
+	// recorded by their owning goroutines. Nil disables tracing with zero
+	// overhead. When Metrics is also set, recorded spans additionally
+	// feed trace.phase_seconds histograms and the trace.dropped counter.
 	Trace *trace.Recorder
 
 	// Metrics, when non-nil, registers the engine's live instruments
@@ -334,7 +340,46 @@ func NewEngine(opts Options) (*Engine, error) {
 		return nil, err
 	}
 	e.registerMetrics(opts.Metrics)
+	e.wireTrace()
 	return e, nil
+}
+
+// trace0 returns the engine's recorder for rank 0 and nil for every other
+// rank, so step loops record exactly one train-track span set per
+// iteration without per-call rank guards (a nil recorder is a no-op).
+func (e *Engine) trace0(rank int) *trace.Recorder {
+	if rank != 0 {
+		return nil
+	}
+	return e.opts.Trace
+}
+
+// wireTrace bridges the recorder into the metrics registry: every
+// recorded span feeds a trace.phase_seconds{track,phase} histogram, and
+// the ring-buffer eviction count is exported as trace.dropped. The
+// observer runs on the recording goroutine outside the recorder lock and
+// is only installed when both a recorder and a registry are configured.
+func (e *Engine) wireTrace() {
+	rec, reg := e.opts.Trace, e.opts.Metrics
+	if rec == nil || reg == nil {
+		return
+	}
+	reg.FuncCounter("trace.dropped", rec.Dropped)
+	var mu sync.Mutex
+	hists := map[string]*obs.Histogram{}
+	rec.SetObserver(func(ev trace.Event) {
+		k := ev.Track + "\x00" + ev.Name
+		mu.Lock()
+		h, ok := hists[k]
+		if !ok {
+			h = reg.Histogram("trace.phase_seconds", obs.DefBuckets,
+				obs.Label{Key: "track", Value: ev.Track},
+				obs.Label{Key: "phase", Value: ev.Name})
+			hists[k] = h
+		}
+		mu.Unlock()
+		h.Observe(ev.Dur.Seconds())
+	})
 }
 
 // newOptimizer builds one optimizer instance over n parameters from the
@@ -367,6 +412,7 @@ func (e *Engine) newWriter(kind checkpoint.DiffKind) error {
 	}
 	w.Events = e.opts.Events
 	w.Pool = e.pool
+	w.Trace = e.opts.Trace
 	e.writer = w
 	return nil
 }
@@ -547,8 +593,7 @@ func (e *Engine) persistFull(f *checkpoint.Full) error {
 	if e.ft != nil && e.Health() == HealthDegraded {
 		return nil // ladder bottom: checkpointing suspended
 	}
-	persistDone := e.opts.Trace.Begin("persist", "full-checkpoint",
-		map[string]interface{}{"iter": f.Iter})
+	persistDone := e.opts.Trace.Begin1(trace.TrackPersist, trace.PhaseFullWrite, "iter", f.Iter)
 	var err error
 	if e.ft != nil {
 		err = e.ft.Retry.Do(func() error {

@@ -11,6 +11,7 @@ import (
 	"lowdiff/internal/obs"
 	"lowdiff/internal/optim"
 	"lowdiff/internal/tensor"
+	"lowdiff/internal/trace"
 )
 
 // Peer-replicated differentials (Checkmate-style): the merged compressed
@@ -80,6 +81,7 @@ func (e *Engine) initPeer() error {
 	if err != nil {
 		return err
 	}
+	peers.Trace = opts.Trace
 	e.peers = peers
 	if !opts.DisableDiffs {
 		// The batched writer backs the storage fallback path; while the
@@ -143,32 +145,32 @@ type peerRank struct {
 
 func (r *peerRank) step(rc *runCtx, t int64) error {
 	e, w := r.e, r.w
+	tr := e.trace0(w)
 	var iterDone func()
 	if w == 0 {
 		e.live.Store(t)
 		if t%int64(e.opts.FullEvery) == 0 {
 			e.events.Emit("train.milestone", map[string]any{"iter": t})
 		}
-		iterDone = e.opts.Trace.Begin1("train", "iteration", "iter", t)
+		iterDone = tr.Begin1(trace.TrackTrain, trace.PhaseIteration, "iter", t)
 	}
 	// Backward pass.
+	computeDone := tr.Begin1(trace.TrackTrain, trace.PhaseCompute, "iter", t)
 	if err := e.oracle.Local(r.p.Flat, w, int(t), r.g); err != nil {
 		return err
 	}
+	computeDone()
 	// Compress.
+	compressDone := tr.Begin1(trace.TrackTrain, trace.PhaseCompress, "iter", t)
 	local, err := e.comps[w].Compress(r.g)
+	compressDone()
 	if err != nil {
 		return err
 	}
 	// Synchronize.
-	var syncDone func()
-	if w == 0 {
-		syncDone = e.opts.Trace.Begin("train", "sync", nil)
-	}
+	syncDone := tr.Begin1(trace.TrackTrain, trace.PhaseAllGather, "iter", t)
 	synced, err := e.group.AllGatherSparse(w, local)
-	if w == 0 {
-		syncDone()
-	}
+	syncDone()
 	if err != nil {
 		return err
 	}
@@ -180,9 +182,11 @@ func (r *peerRank) step(rc *runCtx, t int64) error {
 		return err
 	}
 	// Decompress + update (StepSparse fuses the two).
+	applyDone := tr.Begin1(trace.TrackTrain, trace.PhaseApply, "iter", t)
 	if err := applyCompressed(r.o, r.p.Flat, synced, e.pool); err != nil {
 		return err
 	}
+	applyDone()
 	if w == 0 {
 		iterDone()
 	}
@@ -219,7 +223,10 @@ func (r *peerRank) checkpointStep(rc *runCtx, t int64, synced *compress.Compress
 		// Storage-differential fallback: hand the synchronized gradient
 		// to the batched writer, exactly the DP path.
 		if rc.queue != nil {
-			return rc.queue.Put(Item{Iter: t, Layer: -1, Grad: synced})
+			putDone := e.opts.Trace.Begin1(trace.TrackTrain, trace.PhaseQueueWait, "iter", t)
+			err := rc.queue.Put(Item{Iter: t, Layer: -1, Grad: synced})
+			putDone()
+			return err
 		}
 		return nil
 	}
@@ -250,6 +257,7 @@ func (r *peerRank) checkpointStep(rc *runCtx, t int64, synced *compress.Compress
 // shared retry/health ladder, synchronously on the trainer.
 func (r *peerRank) persistInlineFull(t int64) error {
 	e := r.e
+	snapDone := e.opts.Trace.Begin1(trace.TrackTrain, trace.PhaseSnapshot, "iter", t)
 	var full *checkpoint.Full
 	e.FullSnapshotTimer.Time(func() {
 		full = &checkpoint.Full{
@@ -258,6 +266,7 @@ func (r *peerRank) persistInlineFull(t int64) error {
 			Opt:    r.o.Snapshot(),
 		}
 	})
+	snapDone()
 	return e.persistFull(full)
 }
 
@@ -383,7 +392,9 @@ func (s *peerSnapshotter) consumeFallbackDiffs(rc *runCtx) {
 		e.needFull.Store(true)
 	}
 	for {
+		getDone := e.opts.Trace.Begin(trace.TrackCheckpoint, trace.PhaseQueueWait, nil)
 		it, err := rc.queue.Get()
+		getDone()
 		if err != nil {
 			return // closed and drained
 		}
@@ -408,10 +419,7 @@ func (s *peerSnapshotter) consumeFallbackDiffs(rc *runCtx) {
 			}
 			suspended = false
 		}
-		writeDone := e.opts.Trace.Begin("checkpoint", "diff-add",
-			map[string]interface{}{"iter": it.Iter})
 		err = e.writer.Add(it.Iter, it.Grad)
-		writeDone()
 		if err != nil {
 			if e.ft == nil {
 				rc.errCh <- err

@@ -13,6 +13,7 @@ import (
 	"lowdiff/internal/optim"
 	"lowdiff/internal/storage"
 	"lowdiff/internal/tensor"
+	"lowdiff/internal/trace"
 )
 
 // LowDiff+ (paper §5): gradient reuse without compression, layer-wise
@@ -51,6 +52,10 @@ type PlusOptions struct {
 	Seed  uint64
 	Noise float64 // default 0.05
 
+	// Trace, when non-nil, records the step-phase timeline (per-layer
+	// compute/allgather, snapshot offload, replica assembly, persists).
+	// Nil disables tracing with zero overhead.
+	Trace *trace.Recorder
 	// Metrics, when non-nil, registers the engine's live instruments
 	// (plus.*) for export through the obs endpoints. Nil disables it.
 	Metrics *obs.Registry
@@ -97,6 +102,7 @@ func NewPlusEngine(opts PlusOptions) (*PlusEngine, error) {
 		Parallelism: opts.Parallelism,
 		Seed:        opts.Seed,
 		Noise:       opts.Noise,
+		Trace:       opts.Trace,
 		Metrics:     opts.Metrics,
 		Events:      opts.Events,
 		Plus: &PlusSpec{
@@ -279,18 +285,26 @@ func (p *plusTopology) rankKey() string { return "workers" }
 
 func (p *plusTopology) begin(rc *runCtx) {
 	e := p.e
+	rec := e.opts.Trace
 	p.snapCh = make(chan snapJob, e.opts.Plus.SnapshotWorkers*2)
 	for i := 0; i < e.opts.Plus.SnapshotWorkers; i++ {
 		p.poolWG.Add(1)
 		go func() {
 			defer p.poolWG.Done()
 			for job := range p.snapCh {
+				snapDone := rec.Begin2(trace.TrackSnapshot, trace.PhaseSnapshot,
+					"iter", job.iter, "layer", int64(job.layer))
 				host := &compress.Compressed{
 					Codec: "identity",
 					N:     len(job.src),
 					Vals:  append([]float32(nil), job.src...),
 				}
-				if err := rc.queue.Put(Item{Iter: job.iter, Layer: job.layer, Grad: host}); err != nil {
+				snapDone()
+				putDone := rec.Begin2(trace.TrackSnapshot, trace.PhaseQueueWait,
+					"iter", job.iter, "layer", int64(job.layer))
+				err := rc.queue.Put(Item{Iter: job.iter, Layer: job.layer, Grad: host})
+				putDone()
+				if err != nil {
 					rc.errCh <- err
 				}
 				job.hs.Done()
@@ -334,6 +348,11 @@ type plusRank struct {
 
 func (r *plusRank) step(rc *runCtx, t int64) error {
 	e, w := r.e, r.w
+	tr := e.trace0(w)
+	iterDone := tr.Begin1(trace.TrackTrain, trace.PhaseIteration, "iter", t)
+	if w == 0 {
+		e.live.Store(t)
+	}
 	spec := e.opts.Spec
 	// Backward pass, layer by layer in reverse order; each
 	// layer synchronizes as soon as its gradient exists
@@ -342,12 +361,16 @@ func (r *plusRank) step(rc *runCtx, t int64) error {
 	for _, l := range e.oracle.BackwardOrder() {
 		size := spec.Layers[l].Size
 		lg := r.layerBuf[:size]
+		computeDone := tr.Begin2(trace.TrackTrain, trace.PhaseCompute, "iter", t, "layer", int64(l))
 		if err := e.oracle.LayerGrad(r.p.Flat, w, int(t), l, lg); err != nil {
 			return err
 		}
+		computeDone()
+		gatherDone := tr.Begin2(trace.TrackTrain, trace.PhaseAllGather, "iter", t, "layer", int64(l))
 		if err := e.group.RingAllReduceSum(w, lg); err != nil {
 			return err
 		}
+		gatherDone()
 		lg.Scale(1 / float32(e.opts.Workers))
 		view := r.g[r.offsets[l] : r.offsets[l]+size]
 		copy(view, lg)
@@ -362,9 +385,15 @@ func (r *plusRank) step(rc *runCtx, t int64) error {
 	// H_s.wait(): the gradient buffer may not be reused until
 	// every layer snapshot has been taken.
 	if w == 0 {
+		waitDone := tr.Begin1(trace.TrackTrain, trace.PhaseQueueWait, "iter", t)
 		e.snapTimer.Time(hs.Wait)
+		waitDone()
 	}
-	return r.o.Step(r.p.Flat, r.g)
+	applyDone := tr.Begin1(trace.TrackTrain, trace.PhaseApply, "iter", t)
+	err := r.o.Step(r.p.Flat, r.g)
+	applyDone()
+	iterDone()
+	return err
 }
 
 // replicaSnapshotter is the LowDiff+ checkpointing process: it assembles

@@ -12,6 +12,7 @@ import (
 	"lowdiff/internal/optim"
 	"lowdiff/internal/storage"
 	"lowdiff/internal/tensor"
+	"lowdiff/internal/trace"
 )
 
 // Pipeline-parallel LowDiff (§6): the model's layers are partitioned into
@@ -54,6 +55,10 @@ type PPOptions struct {
 	Seed  uint64
 	Noise float64 // default 0.05
 
+	// Trace, when non-nil, records the step-phase timeline (stage-0 train
+	// phases, coordinator merges, checkpoint persists). Nil disables
+	// tracing with zero overhead.
+	Trace *trace.Recorder
 	// Metrics, when non-nil, registers the engine's live instruments
 	// (pp.* plus the shared ckpt.diff.* writer counters). Nil disables it.
 	Metrics *obs.Registry
@@ -142,6 +147,7 @@ func NewPPEngine(opts PPOptions) (*PPEngine, error) {
 		Parallelism: opts.Parallelism,
 		Seed:        opts.Seed,
 		Noise:       opts.Noise,
+		Trace:       opts.Trace,
 		Metrics:     opts.Metrics,
 		Events:      opts.Events,
 		PP:          &PPSpec{Stages: opts.Stages},
@@ -334,7 +340,13 @@ type ppRank struct {
 
 func (r *ppRank) step(rc *runCtx, t int64) error {
 	e, s, st := r.e, r.s, r.st
+	tr := e.trace0(s)
+	iterDone := tr.Begin1(trace.TrackTrain, trace.PhaseIteration, "iter", t)
+	if s == 0 {
+		e.live.Store(t)
+	}
 	// Backward for this stage's layers (reverse order).
+	computeDone := tr.Begin1(trace.TrackTrain, trace.PhaseCompute, "iter", t)
 	for l := st.LastLayer; l >= st.FirstLayer; l-- {
 		lo := r.offsets[l] - st.Offset
 		sz := e.opts.Spec.Layers[l].Size
@@ -342,33 +354,45 @@ func (r *ppRank) step(rc *runCtx, t int64) error {
 			return err
 		}
 	}
+	computeDone()
 	// Compress the stage slice; indices are slice-local and
 	// shifted to global coordinates for the assembled diff.
+	compressDone := tr.Begin1(trace.TrackTrain, trace.PhaseCompress, "iter", t)
 	local, err := e.comps[s].Compress(r.g)
+	compressDone()
 	if err != nil {
 		return err
 	}
 	if r.merge.partCh != nil {
 		globalPart := shiftToGlobal(local, st.Offset, e.opts.Spec.NumParams())
+		putDone := tr.Begin1(trace.TrackTrain, trace.PhaseQueueWait, "iter", t)
 		r.merge.partCh <- ppPart{iter: t, c: globalPart}
+		putDone()
 	}
 	// Update this stage's parameters only.
+	applyDone := tr.Begin1(trace.TrackTrain, trace.PhaseApply, "iter", t)
 	if err := applyCompressed(e.opts2[s], r.slice, local, e.pool); err != nil {
 		return err
 	}
+	applyDone()
 	// Pipeline flush: stages align at iteration boundaries.
 	if err := e.group.Barrier(s); err != nil {
 		return err
 	}
+	iterDone()
 	// Stage 0 coordinates the periodic full checkpoint, taken
-	// at the aligned boundary.
+	// at the aligned boundary. The iteration envelope is already
+	// closed, so the snapshot and write land between envelopes and
+	// the profiler charges them to this step's window as a stall.
 	if s == 0 && e.opts.Store != nil && t%int64(e.opts.FullEvery) == 0 {
+		snapDone := tr.Begin1(trace.TrackSnapshot, trace.PhaseSnapshot, "iter", t)
 		gst, err := e.globalOptState()
 		if err != nil {
 			return err
 		}
 		//lint:allow hotalloc full-checkpoint path runs every FullEvery iterations; ownership moves to the store
 		full := &checkpoint.Full{Iter: t, Params: e.params[0].Flat.Clone(), Opt: gst}
+		snapDone()
 		if err := e.persistFull(full); err != nil {
 			return err
 		}
@@ -471,7 +495,10 @@ func (s *mergeSnapshotter) coordinate(rc *runCtx) {
 		if len(pending[p.iter]) < e.opts.PP.Stages {
 			continue
 		}
+		mergeDone := e.opts.Trace.Begin2(trace.TrackCheckpoint, trace.PhaseMerge,
+			"iter", p.iter, "count", int64(len(pending[p.iter])))
 		merged, err := compress.MergeWith(e.pool, pending[p.iter]...)
+		mergeDone()
 		delete(pending, p.iter)
 		if err != nil {
 			rc.errCh <- err

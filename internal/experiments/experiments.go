@@ -15,6 +15,8 @@ import (
 	"io"
 	"sort"
 	"strings"
+
+	"lowdiff/internal/trace"
 )
 
 // Table is a rendered experiment result.
@@ -111,6 +113,15 @@ var dataPlaneParallelism int
 // functional experiments. Results are bit-identical at any width
 // (DESIGN.md §8); only wall-clock columns change.
 func SetParallelism(n int) { dataPlaneParallelism = n }
+
+// traceRecorder, when non-nil, is threaded into every functional
+// experiment's engine so one lowdiffbench invocation yields a step-phase
+// timeline alongside the tables. Set through SetTrace before running.
+var traceRecorder *trace.Recorder
+
+// SetTrace sets the span recorder the functional experiments record into.
+// Nil (the default) disables tracing.
+func SetTrace(rec *trace.Recorder) { traceRecorder = rec }
 
 // Generator produces one experiment's table.
 type Generator func() (*Table, error)

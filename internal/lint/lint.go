@@ -119,6 +119,10 @@ func DefaultConfig() *Config {
 			// its shard or combine paths would silently break that.
 			"lowdiff/internal/compress",
 			"lowdiff/internal/parallel",
+			// Profile reports and golden trace fixtures are byte-exact:
+			// any map iteration or wall-clock read in the analyzer or the
+			// serializers would make reports flap between runs.
+			"lowdiff/internal/trace",
 		},
 		FloatEqAllowFuncs: []string{
 			"lowdiff/internal/tensor.Vector.Equal",

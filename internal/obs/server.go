@@ -7,6 +7,8 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"time"
+
+	"lowdiff/internal/trace"
 )
 
 // HealthStatus is the /healthz payload. Status carries the position on
@@ -25,6 +27,10 @@ type ServerOptions struct {
 	Registry *Registry
 	// Health backs /healthz; nil reports always-ok.
 	Health func() HealthStatus
+	// Trace backs /trace: the recorder's retained span ring as Chrome
+	// trace JSON (load in chrome://tracing or Perfetto), or as span JSONL
+	// with ?format=jsonl. Nil serves an empty but valid document.
+	Trace *trace.Recorder
 }
 
 // NewMux returns the ops handler: /metrics, /healthz, /snapshot, and the
@@ -53,6 +59,23 @@ func NewMux(opts ServerOptions) *http.ServeMux {
 			w.WriteHeader(http.StatusServiceUnavailable)
 		}
 		if err := json.NewEncoder(w).Encode(h); err != nil {
+			return
+		}
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
+		var events []trace.Event
+		if opts.Trace != nil {
+			events = opts.Trace.Events()
+		}
+		if r.URL.Query().Get("format") == "jsonl" {
+			w.Header().Set("Content-Type", "application/x-ndjson")
+			if err := trace.WriteJSONL(w, events); err != nil {
+				return
+			}
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if err := trace.WriteChromeTrace(w, events); err != nil {
 			return
 		}
 	})

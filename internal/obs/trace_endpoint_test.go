@@ -1,0 +1,68 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"lowdiff/internal/trace"
+)
+
+func TestTraceEndpoint(t *testing.T) {
+	rec := trace.New()
+	start := time.Now().Add(-time.Millisecond)
+	rec.Span("train", "iteration", start, map[string]interface{}{"iter": int64(1)})
+	rec.Span("persist", "diff-write", start, nil)
+	srv := startServer(t, ServerOptions{Trace: rec})
+	base := "http://" + srv.Addr()
+
+	code, body, hdr := get(t, base+"/trace")
+	if code != http.StatusOK {
+		t.Fatalf("/trace status = %d", code)
+	}
+	if ct := hdr.Get("Content-Type"); !strings.Contains(ct, "application/json") {
+		t.Fatalf("/trace content type = %q", ct)
+	}
+	var rows []map[string]interface{}
+	if err := json.Unmarshal([]byte(body), &rows); err != nil {
+		t.Fatalf("/trace is not a Chrome trace array: %v", err)
+	}
+	var complete int
+	for _, row := range rows {
+		if row["ph"] == "X" {
+			complete++
+		}
+	}
+	if complete != 2 {
+		t.Fatalf("complete events = %d, want 2", complete)
+	}
+
+	code, body, hdr = get(t, base+"/trace?format=jsonl")
+	if code != http.StatusOK {
+		t.Fatalf("/trace?format=jsonl status = %d", code)
+	}
+	if ct := hdr.Get("Content-Type"); !strings.Contains(ct, "ndjson") {
+		t.Fatalf("jsonl content type = %q", ct)
+	}
+	events, err := trace.ReadEvents(strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 2 {
+		t.Fatalf("jsonl events = %d, want 2", len(events))
+	}
+}
+
+func TestTraceEndpointNilRecorder(t *testing.T) {
+	srv := startServer(t, ServerOptions{})
+	code, body, _ := get(t, "http://"+srv.Addr()+"/trace")
+	if code != http.StatusOK {
+		t.Fatalf("/trace status = %d", code)
+	}
+	var rows []interface{}
+	if err := json.Unmarshal([]byte(body), &rows); err != nil || len(rows) != 0 {
+		t.Fatalf("nil-recorder /trace = %q, want empty JSON array", body)
+	}
+}

@@ -27,6 +27,7 @@ import (
 	"lowdiff/internal/optim"
 	"lowdiff/internal/storage"
 	"lowdiff/internal/tensor"
+	"lowdiff/internal/trace"
 )
 
 // State is a recovered training state.
@@ -41,6 +42,9 @@ type Options struct {
 	// Parallelism bounds concurrent differential loads/merges in
 	// RecoverParallel (default: 4).
 	Parallelism int
+	// Trace, when non-nil, records a recovery/recovery span covering the
+	// whole LatestParallel rebuild (scan, loads, tree merge, replay).
+	Trace *trace.Recorder
 }
 
 func (o Options) withDefaults() Options {
@@ -79,6 +83,8 @@ func Latest(store storage.Store) (*State, int, error) {
 // are loaded concurrently and merged in a binary tree, then applied.
 func LatestParallel(store storage.Store, opts Options) (*State, int, error) {
 	opts = opts.withDefaults()
+	done := opts.Trace.Begin1(trace.TrackRecovery, trace.PhaseRecovery, "parallelism", int64(opts.Parallelism))
+	defer done()
 	m, err := checkpoint.Scan(store)
 	if err != nil {
 		return nil, 0, err

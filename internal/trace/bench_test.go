@@ -1,0 +1,71 @@
+package trace
+
+import (
+	"testing"
+)
+
+// benchStep replays one step loop's worth of instrumentation — the exact
+// span pattern core's dpRank.step emits — so the enabled-vs-nil pair
+// measures the profiler's per-iteration overhead in isolation.
+func benchStep(r *Recorder, i int64) {
+	iterDone := r.Begin1(TrackTrain, PhaseIteration, "iter", i)
+	r.Begin1(TrackTrain, PhaseCompute, "iter", i)()
+	r.Begin1(TrackTrain, PhaseCompress, "iter", i)()
+	r.Begin1(TrackTrain, PhaseAllGather, "iter", i)()
+	r.Begin1(TrackTrain, PhaseApply, "iter", i)()
+	iterDone()
+}
+
+// BenchmarkTraceStepSpansEnabled is the enabled-recorder overhead per
+// instrumented step (ring-capped, as a long-running trainer configures
+// it). Gated in BENCH_trace.json.
+func BenchmarkTraceStepSpansEnabled(b *testing.B) {
+	r := New()
+	r.SetCap(4096)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchStep(r, int64(i))
+	}
+}
+
+// BenchmarkTraceStepSpansNil is the disabled (nil recorder) fast path —
+// the production default. Must stay at zero allocs; enforced exactly by
+// TestNilFastPathAllocationFree since the benchfmt gate skips zero
+// baselines.
+func BenchmarkTraceStepSpansNil(b *testing.B) {
+	var r *Recorder
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchStep(r, int64(i))
+	}
+}
+
+// BenchmarkTraceSpanRingSaturated measures steady-state recording once
+// the ring is full and every span evicts the oldest.
+func BenchmarkTraceSpanRingSaturated(b *testing.B) {
+	r := New()
+	r.SetCap(64)
+	for i := int64(0); i < 64; i++ {
+		r.Begin1(TrackTrain, PhaseCompute, "iter", i)()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Begin1(TrackTrain, PhaseCompute, "iter", int64(i))()
+	}
+}
+
+// BenchmarkTraceBuildProfile folds the scripted fixture timeline; the
+// analyzer runs offline so this is about scaling, not hot-path cost.
+func BenchmarkTraceBuildProfile(b *testing.B) {
+	events := goldenTimeline()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if p := BuildProfile(events); p.Events == 0 {
+			b.Fatal("empty profile")
+		}
+	}
+}

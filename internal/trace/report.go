@@ -1,0 +1,271 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"text/tabwriter"
+	"time"
+)
+
+// report.go renders a Profile as deterministic text or JSON, and diffs
+// two profiles phase-by-phase. Both renderings depend only on the
+// profile contents (no clocks, no map iteration), so a virtual-clock
+// trace produces byte-identical reports — the golden-fixture contract.
+
+// maxGapLines bounds the per-gap detail listing; totals always cover
+// every gap, and the truncation is announced so a capped report can't
+// read as a complete one.
+const maxGapLines = 64
+
+func fmtDur(d time.Duration) string {
+	return d.Round(time.Microsecond).String()
+}
+
+func fmtPct(part, whole time.Duration) string {
+	if whole <= 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.1f%%", 100*float64(part)/float64(whole))
+}
+
+// WriteText renders the profile as a fixed-layout text report.
+func (p *Profile) WriteText(w io.Writer) error {
+	fmt.Fprintf(w, "== trace profile ==\n")
+	fmt.Fprintf(w, "events: %d\n", p.Events)
+	if p.Events == 0 {
+		return nil
+	}
+	fmt.Fprintf(w, "tracks: %s\n", strings.Join(p.Tracks, ", "))
+	fmt.Fprintf(w, "span:   %s (%s .. %s)\n", fmtDur(p.End-p.Start), fmtDur(p.Start), fmtDur(p.End))
+	if p.Step != nil {
+		fmt.Fprintf(w, "steps:  %d  p50=%s p95=%s max=%s\n",
+			p.Step.Count, fmtDur(p.Step.P50), fmtDur(p.Step.P95), fmtDur(p.Step.Max))
+	}
+
+	fmt.Fprintf(w, "\n-- phase latency --\n")
+	tw := tabwriter.NewWriter(w, 2, 0, 2, ' ', 0)
+	fmt.Fprintf(tw, "track/phase\tcount\ttotal\tmean\tp50\tp95\tmax\n")
+	for _, s := range p.Phases {
+		fmt.Fprintf(tw, "%s/%s\t%d\t%s\t%s\t%s\t%s\t%s\n",
+			s.Track, s.Phase, s.Count, fmtDur(s.Total), fmtDur(s.Mean),
+			fmtDur(s.P50), fmtDur(s.P95), fmtDur(s.Max))
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+
+	if len(p.Iters) == 0 {
+		return nil
+	}
+	span := p.End - p.Iters[0].Start
+	fmt.Fprintf(w, "\n-- critical path (%d iterations, %s) --\n", len(p.Iters), fmtDur(span))
+	tw = tabwriter.NewWriter(w, 2, 0, 2, ' ', 0)
+	for _, c := range p.Critical {
+		name := c.Phase
+		if c.Track != "" {
+			name = c.Track + "/" + c.Phase
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%s\n", name, fmtDur(c.Total), fmtPct(c.Total, span))
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+
+	fmt.Fprintf(w, "\n-- overlap gaps --\n")
+	stallN, overlapN := 0, 0
+	for _, g := range p.Gaps {
+		if g.Kind == GapTrainStall {
+			stallN++
+		} else {
+			overlapN++
+		}
+	}
+	fmt.Fprintf(w, "train-stall:    total %s over %d windows (%s of span) — train idle while other tracks busy\n",
+		fmtDur(p.TrainStall), stallN, fmtPct(p.TrainStall, span))
+	fmt.Fprintf(w, "overlap-window: total %s over %d windows (%s of span) — train busy, checkpoint/persist idle\n",
+		fmtDur(p.Overlap), overlapN, fmtPct(p.Overlap, span))
+	gaps := append([]Gap(nil), p.Gaps...)
+	sort.Slice(gaps, func(i, j int) bool {
+		a, b := gaps[i], gaps[j]
+		if a.Dur != b.Dur {
+			return a.Dur > b.Dur
+		}
+		if a.Iter != b.Iter {
+			return a.Iter < b.Iter
+		}
+		if a.Start != b.Start {
+			return a.Start < b.Start
+		}
+		return a.Kind < b.Kind
+	})
+	shown := gaps
+	if len(shown) > maxGapLines {
+		shown = shown[:maxGapLines]
+	}
+	tw = tabwriter.NewWriter(w, 2, 0, 2, ' ', 0)
+	for _, g := range shown {
+		fmt.Fprintf(tw, "[%s]\titer %d\t%s\t@ %s..%s\tbusy: %s\n",
+			g.Kind, g.Iter, fmtDur(g.Dur), fmtDur(g.Start), fmtDur(g.End),
+			strings.Join(g.Busy, ", "))
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	if len(gaps) > len(shown) {
+		fmt.Fprintf(w, "… (+%d more gaps; full list in -json output)\n", len(gaps)-len(shown))
+	}
+
+	fmt.Fprintf(w, "\n-- per-iteration --\n")
+	tw = tabwriter.NewWriter(w, 2, 0, 2, ' ', 0)
+	fmt.Fprintf(tw, "iter\twall\twindow\tstall\toverlap\tcritical-top\n")
+	for _, it := range p.Iters {
+		top := "idle"
+		var topDur time.Duration
+		totals := map[string]time.Duration{}
+		var order []string
+		for _, seg := range it.Critical {
+			name := seg.Phase
+			if seg.Track != "" {
+				name = seg.Track + "/" + seg.Phase
+			}
+			if _, ok := totals[name]; !ok {
+				order = append(order, name)
+			}
+			totals[name] += seg.End - seg.Start
+		}
+		for _, name := range order {
+			if name == "idle" {
+				continue
+			}
+			if totals[name] > topDur {
+				top, topDur = name, totals[name]
+			}
+		}
+		topCell := top
+		if topDur > 0 {
+			topCell = fmt.Sprintf("%s %s", top, fmtDur(topDur))
+		}
+		fmt.Fprintf(tw, "%d\t%s\t%s\t%s\t%s\t%s\n",
+			it.Iter, fmtDur(it.Wall), fmtDur(it.End-it.Start),
+			fmtDur(it.Stall), fmtDur(it.Overlap), topCell)
+	}
+	return tw.Flush()
+}
+
+// WriteJSON renders the full profile (including every gap) as indented
+// JSON with a trailing newline.
+func (p *Profile) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(p)
+}
+
+// PhaseDelta compares one (track, phase) between two profiles.
+type PhaseDelta struct {
+	Track  string        `json:"track"`
+	Phase  string        `json:"phase"`
+	ACount int           `json:"a_count"`
+	BCount int           `json:"b_count"`
+	ATotal time.Duration `json:"a_total_ns"`
+	BTotal time.Duration `json:"b_total_ns"`
+	Delta  time.Duration `json:"delta_ns"`
+}
+
+// ProfileDiff is a phase-by-phase comparison of two profiles (A → B).
+type ProfileDiff struct {
+	StepA    *PhaseStats   `json:"step_a,omitempty"`
+	StepB    *PhaseStats   `json:"step_b,omitempty"`
+	Phases   []PhaseDelta  `json:"phases"`
+	StallA   time.Duration `json:"train_stall_a_ns"`
+	StallB   time.Duration `json:"train_stall_b_ns"`
+	OverlapA time.Duration `json:"overlap_a_ns"`
+	OverlapB time.Duration `json:"overlap_b_ns"`
+	EventsA  int           `json:"events_a"`
+	EventsB  int           `json:"events_b"`
+}
+
+// DiffProfiles compares two profiles phase-by-phase.
+func DiffProfiles(a, b *Profile) *ProfileDiff {
+	d := &ProfileDiff{
+		StepA: a.Step, StepB: b.Step,
+		StallA: a.TrainStall, StallB: b.TrainStall,
+		OverlapA: a.Overlap, OverlapB: b.Overlap,
+		EventsA: a.Events, EventsB: b.Events,
+	}
+	byKey := map[string]*PhaseDelta{}
+	var order []string
+	add := func(s PhaseStats, isB bool) {
+		k := s.Track + "\x00" + s.Phase
+		pd, ok := byKey[k]
+		if !ok {
+			pd = &PhaseDelta{Track: s.Track, Phase: s.Phase}
+			byKey[k] = pd
+			order = append(order, k)
+		}
+		if isB {
+			pd.BCount, pd.BTotal = s.Count, s.Total
+		} else {
+			pd.ACount, pd.ATotal = s.Count, s.Total
+		}
+	}
+	for _, s := range a.Phases {
+		add(s, false)
+	}
+	for _, s := range b.Phases {
+		add(s, true)
+	}
+	for _, k := range order {
+		pd := byKey[k]
+		pd.Delta = pd.BTotal - pd.ATotal
+		d.Phases = append(d.Phases, *pd)
+	}
+	sort.Slice(d.Phases, func(i, j int) bool {
+		return phaseLess(d.Phases[i].Track, d.Phases[i].Phase, d.Phases[j].Track, d.Phases[j].Phase)
+	})
+	return d
+}
+
+// WriteText renders the diff as a fixed-layout text report.
+func (d *ProfileDiff) WriteText(w io.Writer) error {
+	fmt.Fprintf(w, "== trace diff (A -> B) ==\n")
+	fmt.Fprintf(w, "events: %d -> %d\n", d.EventsA, d.EventsB)
+	if d.StepA != nil && d.StepB != nil {
+		fmt.Fprintf(w, "steps:  %d -> %d  p50 %s -> %s  p95 %s -> %s\n",
+			d.StepA.Count, d.StepB.Count,
+			fmtDur(d.StepA.P50), fmtDur(d.StepB.P50),
+			fmtDur(d.StepA.P95), fmtDur(d.StepB.P95))
+	}
+	fmt.Fprintf(w, "train-stall:    %s -> %s (%s)\n", fmtDur(d.StallA), fmtDur(d.StallB), fmtDelta(d.StallA, d.StallB))
+	fmt.Fprintf(w, "overlap-window: %s -> %s (%s)\n", fmtDur(d.OverlapA), fmtDur(d.OverlapB), fmtDelta(d.OverlapA, d.OverlapB))
+	fmt.Fprintf(w, "\n-- phase totals --\n")
+	tw := tabwriter.NewWriter(w, 2, 0, 2, ' ', 0)
+	fmt.Fprintf(tw, "track/phase\tA-total\tB-total\tdelta\trel\n")
+	for _, pd := range d.Phases {
+		fmt.Fprintf(tw, "%s/%s\t%s\t%s\t%s\t%s\n",
+			pd.Track, pd.Phase, fmtDur(pd.ATotal), fmtDur(pd.BTotal),
+			fmtDur(pd.Delta), fmtDelta(pd.ATotal, pd.BTotal))
+	}
+	return tw.Flush()
+}
+
+// WriteJSON renders the diff as indented JSON.
+func (d *ProfileDiff) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(d)
+}
+
+// fmtDelta formats a relative change from a to b.
+func fmtDelta(a, b time.Duration) string {
+	if a == 0 {
+		if b == 0 {
+			return "±0.0%"
+		}
+		return "new"
+	}
+	rel := 100 * (float64(b) - float64(a)) / float64(a)
+	return fmt.Sprintf("%+.1f%%", rel)
+}

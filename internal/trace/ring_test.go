@@ -1,0 +1,164 @@
+package trace
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// stepClock returns a scripted clock advancing step per read, plus the
+// epoch the recorder built on it will use.
+func stepClock(step time.Duration) (func() time.Time, time.Time) {
+	now := time.Unix(0, 0).UTC()
+	return func() time.Time {
+		now = now.Add(step)
+		return now
+	}, now.Add(step)
+}
+
+func TestRingCapEvictsOldest(t *testing.T) {
+	clock, _ := stepClock(time.Millisecond)
+	r := NewWithClock(clock)
+	r.SetCap(3)
+	for _, name := range []string{"e1", "e2", "e3", "e4", "e5"} {
+		r.Begin("train", name, nil)()
+	}
+	if got := r.Dropped(); got != 2 {
+		t.Fatalf("Dropped = %d, want 2", got)
+	}
+	events := r.Events()
+	if len(events) != 3 {
+		t.Fatalf("retained %d events, want 3", len(events))
+	}
+	for i, want := range []string{"e3", "e4", "e5"} {
+		if events[i].Name != want {
+			t.Fatalf("event %d = %q, want %q (ring should keep the newest)", i, events[i].Name, want)
+		}
+	}
+	if r.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", r.Len())
+	}
+}
+
+func TestSetCapTrimsExistingOverflow(t *testing.T) {
+	clock, _ := stepClock(time.Millisecond)
+	r := NewWithClock(clock)
+	for _, name := range []string{"e1", "e2", "e3", "e4"} {
+		r.Begin("train", name, nil)()
+	}
+	r.SetCap(2)
+	if got := r.Dropped(); got != 2 {
+		t.Fatalf("Dropped = %d, want 2", got)
+	}
+	events := r.Events()
+	if len(events) != 2 || events[0].Name != "e3" || events[1].Name != "e4" {
+		t.Fatalf("after SetCap(2): %v", events)
+	}
+	// Ring continues evicting from the trimmed state.
+	r.Begin("train", "e5", nil)()
+	if got := r.Dropped(); got != 3 {
+		t.Fatalf("Dropped after one more span = %d, want 3", got)
+	}
+	events = r.Events()
+	if len(events) != 2 || events[0].Name != "e4" || events[1].Name != "e5" {
+		t.Fatalf("after overflow: %v", events)
+	}
+}
+
+func TestSetCapZeroRestoresUnbounded(t *testing.T) {
+	clock, _ := stepClock(time.Millisecond)
+	r := NewWithClock(clock)
+	r.SetCap(2)
+	for i := 0; i < 4; i++ {
+		r.Begin("train", "e", nil)()
+	}
+	r.SetCap(0)
+	for i := 0; i < 10; i++ {
+		r.Begin("train", "e", nil)()
+	}
+	if r.Len() != 12 {
+		t.Fatalf("Len = %d, want 12 (unbounded after SetCap(0))", r.Len())
+	}
+	if got := r.Dropped(); got != 2 {
+		t.Fatalf("Dropped = %d, want 2 (no eviction once unbounded)", got)
+	}
+}
+
+func TestObserverSeesEverySpan(t *testing.T) {
+	clock, _ := stepClock(time.Millisecond)
+	r := NewWithClock(clock)
+	r.SetCap(2) // observer must fire even for spans the ring later evicts
+	var mu sync.Mutex
+	var seen []string
+	r.SetObserver(func(e Event) {
+		mu.Lock()
+		seen = append(seen, e.Name)
+		mu.Unlock()
+	})
+	for _, name := range []string{"a", "b", "c", "d"} {
+		r.Begin("train", name, nil)()
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(seen) != 4 {
+		t.Fatalf("observer saw %d spans, want 4: %v", len(seen), seen)
+	}
+	r.SetObserver(nil) // removable without panicking subsequent spans
+	r.Begin("train", "e", nil)()
+	if len(seen) != 4 {
+		t.Fatalf("observer fired after removal: %v", seen)
+	}
+}
+
+func TestSeqTieBreakPinsIdenticalSpans(t *testing.T) {
+	// Spans with identical (start, track, name) — e.g. concurrent workers
+	// under a frozen virtual clock — must serialize in insertion order,
+	// stably across repeated Events calls.
+	clock, epoch := stepClock(0)
+	r := NewWithClock(clock)
+	for i := 0; i < 8; i++ {
+		r.Span("train", "compute", epoch, map[string]interface{}{"i": int64(i)})
+	}
+	first := r.Events()
+	for trial := 0; trial < 3; trial++ {
+		again := r.Events()
+		for i := range first {
+			if first[i].Seq != again[i].Seq || first[i].Args["i"] != again[i].Args["i"] {
+				t.Fatalf("tie-broken order not stable at %d: %+v vs %+v", i, first[i], again[i])
+			}
+		}
+	}
+	for i := 1; i < len(first); i++ {
+		if first[i].Seq <= first[i-1].Seq {
+			t.Fatalf("equal-key events not in insertion order: %v then %v", first[i-1].Seq, first[i].Seq)
+		}
+	}
+}
+
+func TestNilRecorderOpsSafe(t *testing.T) {
+	var r *Recorder
+	r.SetCap(10)
+	r.SetObserver(func(Event) {})
+	r.Begin1("train", "iteration", "iter", 1)()
+	r.Begin2("train", "compute", "iter", 1, "layer", 2)()
+	if r.Dropped() != 0 || r.Len() != 0 {
+		t.Fatal("nil recorder must be inert")
+	}
+}
+
+func TestNilFastPathAllocationFree(t *testing.T) {
+	// The production step loops call Begin1/Begin2 unconditionally; with
+	// tracing disabled (nil recorder) those calls must not allocate.
+	var r *Recorder
+	allocs := testing.AllocsPerRun(200, func() {
+		done := r.Begin1("train", "iteration", "iter", 7)
+		done()
+		done = r.Begin2("train", "compute", "iter", 7, "layer", 3)
+		done()
+		done = r.Begin("train", "apply", nil)
+		done()
+	})
+	if allocs != 0 {
+		t.Fatalf("nil-recorder fast path allocates %.1f/op, want 0", allocs)
+	}
+}

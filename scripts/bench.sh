@@ -3,7 +3,9 @@
 # observability-layer benchmarks and writes the parsed results to
 # BENCH_obs.json, then runs the data-plane composite benchmarks (serial
 # baseline vs k-way/pooled compress+merge, pooled decompress) and writes
-# them to BENCH_dataplane.json (benchmark name -> ns/op, B/op, allocs/op).
+# them to BENCH_dataplane.json, then the step-phase profiler overhead
+# benchmarks (enabled recorder vs nil fast path) into BENCH_trace.json
+# (benchmark name -> ns/op, B/op, allocs/op).
 #
 #   BENCHTIME=1x scripts/bench.sh     # CI smoke: one iteration per benchmark
 #   BENCH_OUT=/tmp/b.json BENCH_DATAPLANE_OUT=/tmp/d.json scripts/bench.sh
@@ -24,12 +26,23 @@ cd "$(dirname "$0")/.."
 BENCHTIME="${BENCHTIME:-1s}"
 BENCH_OUT="${BENCH_OUT:-BENCH_obs.json}"
 BENCH_DATAPLANE_OUT="${BENCH_DATAPLANE_OUT:-BENCH_dataplane.json}"
+BENCH_TRACE_OUT="${BENCH_TRACE_OUT:-BENCH_trace.json}"
 GATE_BENCHTIME="${GATE_BENCHTIME:-100x}"
 
 if [ "${SKIP_ALLOC_GATE:-0}" != "1" ] && [ -f BENCH_dataplane.json ]; then
     echo "== allocs/op gate: pooled merge vs checked-in BENCH_dataplane.json (benchtime $GATE_BENCHTIME) ==" >&2
     go test -run '^$' -bench 'DataplaneCompressMerge' -benchmem -benchtime "$GATE_BENCHTIME" ./internal/compress |
         go run ./cmd/benchfmt -gate BENCH_dataplane.json -gate-match kway-pooled -slack 0.25
+fi
+
+# Profiler-overhead gate: the enabled-recorder step-span path must not
+# grow its allocation footprint (the nil fast path is pinned at zero
+# allocs by TestNilFastPathAllocationFree; benchfmt skips zero baselines,
+# so only the enabled path is gated here).
+if [ "${SKIP_ALLOC_GATE:-0}" != "1" ] && [ -f BENCH_trace.json ]; then
+    echo "== allocs/op gate: trace step spans vs checked-in BENCH_trace.json (benchtime $GATE_BENCHTIME) ==" >&2
+    go test -run '^$' -bench 'TraceStepSpansEnabled' -benchmem -benchtime "$GATE_BENCHTIME" ./internal/trace |
+        go run ./cmd/benchfmt -gate BENCH_trace.json -gate-match StepSpansEnabled -slack 0.25
 fi
 
 tmp=$(mktemp)
@@ -52,3 +65,13 @@ go test -run '^$' -bench 'Dataplane' -benchmem -benchtime "$BENCHTIME" ./interna
 
 go run ./cmd/benchfmt <"$dptmp" >"$BENCH_DATAPLANE_OUT"
 echo "wrote $BENCH_DATAPLANE_OUT" >&2
+
+trtmp=$(mktemp)
+trap 'rm -f "$tmp" "$dptmp" "$trtmp"' EXIT
+
+echo "== go test -bench Trace ./internal/trace (benchtime $BENCHTIME) ==" >&2
+go test -run '^$' -bench 'BenchmarkTrace' -benchmem -benchtime "$BENCHTIME" ./internal/trace |
+    tee "$trtmp" >&2
+
+go run ./cmd/benchfmt <"$trtmp" >"$BENCH_TRACE_OUT"
+echo "wrote $BENCH_TRACE_OUT" >&2

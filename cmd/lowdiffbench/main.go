@@ -28,11 +28,14 @@ func main() {
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	parallelism := flag.Int("parallelism", runtime.NumCPU(),
 		"data-plane pool workers for the functional experiments (1: serial; results are bit-identical either way)")
+	overlap := flag.Bool("overlap", false,
+		"pipelined step schedule: overlap checkpoint work with the next iteration's communication wave (results are bit-identical)")
 	opsAddr := flag.String("ops-addr", "", "serve /metrics, /healthz, /snapshot, and pprof on this address while experiments run (empty: off)")
 	traceOut := flag.String("trace-out", "", "write the functional experiments' span timeline as JSONL to this file (input for lowdifftrace)")
 	flag.Parse()
 
 	experiments.SetParallelism(*parallelism)
+	experiments.SetOverlap(*overlap)
 
 	var rec *trace.Recorder
 	if *traceOut != "" {

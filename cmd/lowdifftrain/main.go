@@ -41,6 +41,8 @@ func main() {
 	crash := flag.Int("crash", 0, "simulate a crash after this many iterations (0: none)")
 	doRecover := flag.Bool("recover", false, "recover from -dir and print the state instead of training")
 	parallel := flag.Bool("parallel", true, "use parallel recovery")
+	overlap := flag.Bool("overlap", false,
+		"pipelined step schedule: overlap checkpoint work with the next iteration's communication wave (results are bit-identical)")
 	parallelism := flag.Int("parallelism", runtime.NumCPU(),
 		"data-plane pool workers for compression, merge, and checkpoint encode (1: serial; bit-identical either way)")
 	plus := flag.Bool("plus", false, "run the LowDiff+ engine (no compression)")
@@ -143,7 +145,7 @@ func main() {
 	}
 
 	if *plus {
-		runPlus(scaled, store, *workers, *iters, *parallelism, *seed, *opsAddr, reg, events, rec)
+		runPlus(scaled, store, *workers, *iters, *parallelism, *overlap, *seed, *opsAddr, reg, events, rec)
 		writeTraces()
 		closeEvents()
 		return
@@ -166,7 +168,7 @@ func main() {
 	e, err := core.NewEngine(core.Options{
 		Spec: scaled, Workers: *workers, Optimizer: *optName, Rho: *rho,
 		Store: store, FullEvery: *fullEvery, BatchSize: *batch,
-		Parallelism: *parallelism, Seed: *seed, Peer: peerSpec,
+		Parallelism: *parallelism, Overlap: *overlap, Seed: *seed, Peer: peerSpec,
 		Trace: rec, Metrics: reg, Events: events,
 	})
 	if err != nil {
@@ -251,11 +253,11 @@ func reportPeerRecovery(e *core.Engine, store storage.Store) {
 		rep.StorageIter, st.Iter, src, match)
 }
 
-func runPlus(spec model.Spec, store storage.Store, workers, iters, parallelism int, seed uint64,
+func runPlus(spec model.Spec, store storage.Store, workers, iters, parallelism int, overlap bool, seed uint64,
 	opsAddr string, reg *obs.Registry, events *obs.EventLog, rec *trace.Recorder) {
 	e, err := core.NewPlusEngine(core.PlusOptions{
 		Spec: spec, Workers: workers, Store: store, PersistEvery: 10,
-		Parallelism: parallelism, Seed: seed,
+		Parallelism: parallelism, Overlap: overlap, Seed: seed,
 		Trace: rec, Metrics: reg, Events: events,
 	})
 	if err != nil {

@@ -10,6 +10,7 @@ import (
 	"lowdiff/internal/model"
 	"lowdiff/internal/obs"
 	"lowdiff/internal/optim"
+	"lowdiff/internal/parallel"
 	"lowdiff/internal/tensor"
 	"lowdiff/internal/trace"
 )
@@ -41,6 +42,9 @@ func (e *Engine) initDP() error {
 	if opts.Codec == "randk" && opts.Workers > 1 {
 		return fmt.Errorf("core: randk selects different indices per worker; use topk or identity for multi-worker runs")
 	}
+	if err := validateOverlap(opts); err != nil {
+		return err
+	}
 	if err := e.initDPWorkers(); err != nil {
 		return err
 	}
@@ -54,7 +58,22 @@ func (e *Engine) initDP() error {
 		}
 	}
 	chain := &chainSnapshotter{e: e}
-	e.topo = &dpTopology{e: e, chain: chain}
+	topo := &dpTopology{e: e, chain: chain}
+	// The overlap schedule's long-lived pieces — the scheduler-owned
+	// Naïve-DC compressor and the snapshot staging double buffer — are
+	// built once here so chunked Run calls reuse them (and so codec
+	// errors surface at init, where they can be returned).
+	if opts.Overlap && opts.Store != nil {
+		if opts.NaiveDC && !opts.DisableDiffs {
+			comp, err := compress.NewPooled(opts.Codec, opts.Rho, opts.Seed, e.pool)
+			if err != nil {
+				return err
+			}
+			topo.overlapComp = comp
+		}
+		topo.staging = parallel.NewDoubleBuf(opts.Spec.NumParams())
+	}
+	e.topo = topo
 	e.snap = chain
 	return nil
 }
@@ -99,18 +118,43 @@ func (e *Engine) initDPWorkers() error {
 type dpTopology struct {
 	e     *Engine
 	chain *chainSnapshotter
+
+	// Overlap schedule (DESIGN.md §11), active when opts.Overlap and a
+	// store is configured: overlapComp/staging live across Run calls,
+	// sched is rebuilt per Run in begin and joined in end.
+	overlapComp compress.Compressor
+	staging     *parallel.DoubleBuf
+	sched       *overlapScheduler
 }
 
 func (d *dpTopology) ranks() int      { return d.e.opts.Workers }
 func (d *dpTopology) rankKey() string { return "workers" }
-func (d *dpTopology) begin(*runCtx)   {}
-func (d *dpTopology) end(*runCtx)     {}
+
+func (d *dpTopology) begin(rc *runCtx) {
+	e := d.e
+	if e.opts.Overlap && e.opts.Store != nil {
+		d.sched = newOverlapScheduler(e, d.chain, rc, d.overlapComp, d.staging)
+	}
+}
+
+// end joins the scheduler before the Snapshotter's end closes the queue
+// and the full channel: every deposited slot retires (and its writes
+// are enqueued) while both sinks are still open.
+func (d *dpTopology) end(*runCtx) {
+	if d.sched != nil {
+		d.sched.stop()
+		d.sched = nil
+	}
+}
 
 func (d *dpTopology) registerMetrics(reg *obs.Registry) {
 	e := d.e
 	reg.FuncGauge("engine.iter", func() float64 { return float64(e.live.Load()) })
 	reg.FuncGauge("engine.health", func() float64 { return float64(e.Health()) })
 	reg.FuncGauge("engine.workers", func() float64 { return float64(e.opts.Workers) })
+	if e.opts.Overlap {
+		e.registerOverlapMetrics(reg)
+	}
 }
 
 func (d *dpTopology) newRank(rc *runCtx, w int) rankRunner {
@@ -123,9 +167,13 @@ func (d *dpTopology) newRank(rc *runCtx, w int) rankRunner {
 		o:     e.opts2[w],
 		g:     tensor.New(e.opts.Spec.NumParams()),
 	}
+	if w == 0 {
+		r.sched = d.sched
+	}
 	// Naïve DC retains the previous model state to compute the
-	// differential from — the extra memory cost §3.4 points out.
-	if e.opts.NaiveDC && w == 0 && rc.queue != nil {
+	// differential from — the extra memory cost §3.4 points out. Under
+	// the overlap schedule that state lives on the scheduler instead.
+	if e.opts.NaiveDC && w == 0 && rc.queue != nil && r.sched == nil {
 		r.prev = r.p.Flat.Clone()
 		r.delta = tensor.New(len(r.p.Flat))
 	}
@@ -140,7 +188,8 @@ type dpRank struct {
 	p           *model.Params
 	o           optim.Optimizer
 	g           tensor.Vector
-	prev, delta tensor.Vector // Naïve DC state (worker 0 only)
+	prev, delta tensor.Vector     // Naïve DC state (worker 0, sequential schedule)
+	sched       *overlapScheduler // overlap schedule (worker 0, when enabled)
 }
 
 func (r *dpRank) step(rc *runCtx, t int64) error {
@@ -167,16 +216,27 @@ func (r *dpRank) step(rc *runCtx, t int64) error {
 	if err != nil {
 		return err
 	}
-	// Synchronize.
+	// Synchronize. Under the overlap schedule the previous iteration's
+	// gated checkpoint slices run inside this wave: the gate opens as
+	// the span opens (params are quiescent until the post-wave apply)
+	// and the rendezvous completes before the span closes, so the
+	// scheduler's spans nest inside this allgather span by construction.
 	syncDone := tr.Begin1(trace.TrackTrain, trace.PhaseAllGather, "iter", t)
+	if r.sched != nil {
+		r.sched.openGate()
+	}
 	synced, err := e.group.AllGatherSparse(w, local)
+	if r.sched != nil {
+		r.sched.rendezvous()
+	}
 	syncDone()
 	if err != nil {
 		return err
 	}
 	// Reuse: zero-copy hand-off to the checkpointing process
-	// (LowDiff path; Naïve DC checkpoints after the update).
-	if w == 0 && rc.queue != nil && !e.opts.NaiveDC {
+	// (LowDiff path; Naïve DC checkpoints after the update). The
+	// overlap schedule hands off through the scheduler after apply.
+	if w == 0 && rc.queue != nil && !e.opts.NaiveDC && r.sched == nil {
 		putDone := tr.Begin1(trace.TrackTrain, trace.PhaseQueueWait, "iter", t)
 		err := rc.queue.Put(Item{Iter: t, Layer: -1, Grad: synced})
 		putDone()
@@ -208,6 +268,21 @@ func (r *dpRank) step(rc *runCtx, t int64) error {
 	if w == 0 {
 		iterDone()
 	}
+	if r.sched != nil {
+		// Overlap schedule: deposit this iteration's checkpoint-plane
+		// work — the queue hand-off, the Naïve-DC delta, and any
+		// boundary/fallback full — for dispatch during the next wave.
+		// The fallback CAS happens here, at the same point in the
+		// trainer's timeline as the sequential branch below.
+		var gradItem *compress.Compressed
+		if rc.queue != nil && !e.opts.NaiveDC {
+			gradItem = synced
+		}
+		fallback := e.needFull.CompareAndSwap(true, false)
+		doFull := fallback || t%int64(e.opts.FullEvery) == 0
+		r.sched.deposit(t, gradItem, doFull)
+		return nil
+	}
 	// Full checkpoint regularly — and on demand when the
 	// fault-tolerance ladder requests a fresh chain base:
 	// synchronous snapshot, asynchronous persist.
@@ -225,10 +300,19 @@ func (r *dpRank) step(rc *runCtx, t int64) error {
 				}
 			})
 			snapDone()
-			r.chain.fullCh <- full
+			r.chain.fullCh <- fullJob{f: full}
 		}
 	}
 	return nil
+}
+
+// fullJob carries one full checkpoint to the persist goroutine. release,
+// when set, returns the snapshot's staging buffer to the overlap
+// schedule's double buffer after the persist attempt (the params must
+// not be touched once released).
+type fullJob struct {
+	f       *checkpoint.Full
+	release func()
 }
 
 // chainSnapshotter persists the LowDiff differential chain: an asynchronous
@@ -236,7 +320,7 @@ func (r *dpRank) step(rc *runCtx, t int64) error {
 // full-checkpoint persister (CheckFreq-style).
 type chainSnapshotter struct {
 	e      *Engine
-	fullCh chan *checkpoint.Full
+	fullCh chan fullJob
 	wg     sync.WaitGroup
 }
 
@@ -245,7 +329,7 @@ func (s *chainSnapshotter) begin(rc *runCtx) error {
 	if e.opts.Store == nil {
 		return nil
 	}
-	s.fullCh = make(chan *checkpoint.Full, 4)
+	s.fullCh = make(chan fullJob, 4)
 	if e.writer != nil {
 		q, err := NewReusingQueue(e.opts.QueueCap)
 		if err != nil {
@@ -266,11 +350,11 @@ func (s *chainSnapshotter) initialFull(rc *runCtx) error {
 	if e.opts.Store == nil {
 		return nil
 	}
-	s.fullCh <- &checkpoint.Full{
+	s.fullCh <- fullJob{f: &checkpoint.Full{
 		Iter:   0,
 		Params: e.params[0].Flat.Clone(),
 		Opt:    e.opts2[0].Snapshot(),
-	}
+	}}
 	return nil
 }
 
@@ -390,13 +474,17 @@ func (s *chainSnapshotter) consumeDiffs(rc *runCtx) {
 func (s *chainSnapshotter) persistFulls(rc *runCtx) {
 	defer s.wg.Done()
 	broken := false
-	for f := range s.fullCh {
-		if broken {
-			continue // drain so the trainer never blocks on a dead sink
+	for job := range s.fullCh {
+		if !broken {
+			if err := s.e.persistFull(job.f); err != nil {
+				rc.errCh <- err
+				broken = true
+			}
 		}
-		if err := s.e.persistFull(f); err != nil {
-			rc.errCh <- err
-			broken = true
+		// Release staging buffers even in drain mode: the overlap
+		// scheduler blocks in Acquire when both buffers are out.
+		if job.release != nil {
+			job.release()
 		}
 	}
 }

@@ -32,6 +32,7 @@ import (
 	"math"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"testing"
 
@@ -76,8 +77,11 @@ type goldenConfig struct {
 // parallelism. The fixtures were captured serially (par 0); any par value
 // must reproduce them bit for bit — the data-plane determinism contract
 // (DESIGN.md §8) — so TestGoldenEquivalenceParallel replays the SAME
-// fixtures with a sharded pool.
-func goldenConfigs(par int) []goldenConfig {
+// fixtures with a sharded pool. The overlap flag enables the pipelined
+// step schedule (DESIGN.md §11) on every configuration; it too must
+// reproduce the serially captured fixtures byte for byte, which is what
+// TestGoldenEquivalenceOverlap asserts.
+func goldenConfigs(par int, overlap bool) []goldenConfig {
 	dp := func(opts Options) goldenConfig {
 		return goldenConfig{
 			build: func(store storage.Store, events *obs.EventLog) (goldenEngine, error) {
@@ -85,6 +89,7 @@ func goldenConfigs(par int) []goldenConfig {
 				o.Store = store
 				o.Events = events
 				o.Parallelism = par
+				o.Overlap = overlap
 				return NewEngine(o)
 			},
 			run: func(e goldenEngine, iters int) (int64, int64, error) {
@@ -186,7 +191,7 @@ func goldenConfigs(par int) []goldenConfig {
 
 func TestGoldenEquivalence(t *testing.T) {
 	update := os.Getenv("LOWDIFF_UPDATE_GOLDEN") != ""
-	runGolden(t, 0, update)
+	runGolden(t, 0, false, update)
 }
 
 // TestGoldenEquivalenceParallel replays every golden configuration with the
@@ -195,11 +200,24 @@ func TestGoldenEquivalence(t *testing.T) {
 // output, loss bit pattern, or event line. Fixtures are never regenerated
 // from this test.
 func TestGoldenEquivalenceParallel(t *testing.T) {
-	runGolden(t, 3, false)
+	runGolden(t, 3, false, false)
 }
 
-func runGolden(t *testing.T, par int, update bool) {
-	for _, cfg := range goldenConfigs(par) {
+// TestGoldenEquivalenceOverlap replays every golden configuration with
+// the pipelined overlap schedule enabled, at several data-plane widths:
+// moving checkpoint work off the step's critical path must never change
+// a single byte of checkpoint output, loss bit pattern, or event line
+// (DESIGN.md §11). Fixtures are never regenerated from this test.
+func TestGoldenEquivalenceOverlap(t *testing.T) {
+	for _, par := range []int{1, 2, 7, runtime.NumCPU()} {
+		t.Run(fmt.Sprintf("par=%d", par), func(t *testing.T) {
+			runGolden(t, par, true, false)
+		})
+	}
+}
+
+func runGolden(t *testing.T, par int, overlap, update bool) {
+	for _, cfg := range goldenConfigs(par, overlap) {
 		cfg := cfg
 		t.Run(cfg.name, func(t *testing.T) {
 			got := captureGolden(t, cfg)

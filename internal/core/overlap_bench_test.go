@@ -1,0 +1,50 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"lowdiff/internal/model"
+	"lowdiff/internal/storage"
+)
+
+// BenchmarkOverlapStep measures per-iteration step time of the PP
+// engine against a slow store (chaos latency on every write), with the
+// boundary full persist inline (sequential) versus handed to the async
+// persister (overlapped, DESIGN.md §11). The injected latency stands in
+// for real checkpoint-store I/O, so the reduction is visible even on a
+// single-CPU runner where compute cannot truly overlap with encode CPU.
+//
+// FullEvery is sized so the compute between two boundaries exceeds the
+// persist latency: hiding a write needs somewhere to hide it, otherwise
+// the double buffer's back-pressure serializes on the persister and both
+// schedules converge on the store's throughput limit.
+//
+// The checked-in BENCH_overlap.json baseline pins the step-time gap;
+// scripts/bench.sh gates allocs/op and B/op against it (ns/op is
+// machine-dependent and never gated).
+func BenchmarkOverlapStep(b *testing.B) {
+	run := func(b *testing.B, overlap bool) {
+		mem := storage.NewMem()
+		chaos, err := storage.NewChaos(mem, storage.ChaosConfig{
+			LatencyProb: 1, Latency: 2 * time.Millisecond, Seed: 11,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		e, err := NewEngine(Options{
+			Spec: model.Tiny(4, 2048), Rho: 0.2, Store: chaos,
+			FullEvery: 8, DisableDiffs: true, Seed: 13,
+			PP: &PPSpec{Stages: 2}, Overlap: overlap,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		if _, err := e.Run(b.N); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Run("sequential", func(b *testing.B) { run(b, false) })
+	b.Run("overlapped", func(b *testing.B) { run(b, true) })
+}

@@ -62,6 +62,9 @@ func (e *Engine) initPeer() error {
 	if opts.Peer.Window < 1 {
 		return fmt.Errorf("core: peer window depth %d must be >= 1", opts.Peer.Window)
 	}
+	if err := validateOverlap(opts); err != nil {
+		return err
+	}
 	if err := e.initDPWorkers(); err != nil {
 		return err
 	}

@@ -52,6 +52,13 @@ type PPOptions struct {
 	// (DESIGN.md §8).
 	Parallelism int
 
+	// Overlap enables the pipelined step schedule (DESIGN.md §11): the
+	// boundary full snapshot is still taken between the two barriers
+	// (state frozen there), but the write moves to an asynchronous
+	// persister so the stages start the next iteration while the store
+	// I/O drains. Persisted bytes are bit-identical.
+	Overlap bool
+
 	Seed  uint64
 	Noise float64 // default 0.05
 
@@ -145,6 +152,7 @@ func NewPPEngine(opts PPOptions) (*PPEngine, error) {
 		QueueCap:    opts.QueueCap,
 		RetainFulls: opts.RetainFulls,
 		Parallelism: opts.Parallelism,
+		Overlap:     opts.Overlap,
 		Seed:        opts.Seed,
 		Noise:       opts.Noise,
 		Trace:       opts.Trace,
@@ -203,6 +211,9 @@ func (e *Engine) initPP() error {
 	case "topk", "identity":
 	default:
 		return fmt.Errorf("core: pp codec %q not supported (topk or identity)", opts.Codec)
+	}
+	if err := validateOverlap(opts); err != nil {
+		return err
 	}
 	group, err := comm.NewGroupPooled(opts.PP.Stages, e.pool)
 	if err != nil {
@@ -393,7 +404,15 @@ func (r *ppRank) step(rc *runCtx, t int64) error {
 		//lint:allow hotalloc full-checkpoint path runs every FullEvery iterations; ownership moves to the store
 		full := &checkpoint.Full{Iter: t, Params: e.params[0].Flat.Clone(), Opt: gst}
 		snapDone()
-		if err := e.persistFull(full); err != nil {
+		if r.merge.fullCh != nil {
+			// Overlap: the snapshot above froze the state; hand the
+			// write to the persister so the barrier below releases the
+			// stages while the store I/O drains off the critical path.
+			e.overlapDeposits.Inc()
+			putDone := tr.Begin1(trace.TrackOverlap, trace.PhaseQueueWait, "iter", t)
+			r.merge.fullCh <- full
+			putDone()
+		} else if err := e.persistFull(full); err != nil {
 			return err
 		}
 	}
@@ -415,10 +434,21 @@ type mergeSnapshotter struct {
 	e      *Engine
 	partCh chan ppPart
 	wg     sync.WaitGroup
+
+	// Overlap schedule (DESIGN.md §11): boundary fulls are snapshotted
+	// inline between the barriers (state frozen there) but written by
+	// this persister, so the stages resume while the store I/O drains.
+	fullCh chan *checkpoint.Full
+	fullWG sync.WaitGroup
 }
 
 func (s *mergeSnapshotter) begin(rc *runCtx) error {
 	e := s.e
+	if e.opts.Overlap && e.opts.Store != nil {
+		s.fullCh = make(chan *checkpoint.Full, 2)
+		s.fullWG.Add(1)
+		go s.persistFulls(rc)
+	}
 	if e.writer == nil {
 		return nil
 	}
@@ -426,6 +456,24 @@ func (s *mergeSnapshotter) begin(rc *runCtx) error {
 	s.wg.Add(1)
 	go s.coordinate(rc)
 	return nil
+}
+
+// persistFulls is the overlap schedule's asynchronous boundary-full
+// persister, sharing the engine's full persistence path (retry ladder,
+// fullWrites accounting, events).
+func (s *mergeSnapshotter) persistFulls(rc *runCtx) {
+	defer s.fullWG.Done()
+	broken := false
+	for f := range s.fullCh {
+		if broken {
+			continue // drain so stage 0 never blocks on a dead sink
+		}
+		s.e.overlapSlices.Inc()
+		if err := s.e.persistFull(f); err != nil {
+			rc.errCh <- err
+			broken = true
+		}
+	}
 }
 
 // initialFull persists the initial global state once, synchronously (no
@@ -447,6 +495,11 @@ func (s *mergeSnapshotter) end(rc *runCtx) {
 		close(s.partCh)
 		s.wg.Wait()
 	}
+	if s.fullCh != nil {
+		close(s.fullCh)
+		s.fullWG.Wait() // all boundary fulls persisted before Run returns
+		s.fullCh = nil
+	}
 }
 
 func (s *mergeSnapshotter) runEndFields(stats *RunStats) map[string]any {
@@ -457,6 +510,9 @@ func (s *mergeSnapshotter) runEndFields(stats *RunStats) map[string]any {
 
 func (s *mergeSnapshotter) registerMetrics(reg *obs.Registry) {
 	e := s.e
+	if e.opts.Overlap {
+		e.registerOverlapMetrics(reg)
+	}
 	reg.FuncCounter("pp.full_writes", e.fullWrites.Value)
 	if e.writer != nil {
 		w := e.writer

@@ -115,3 +115,35 @@ func (c *Counter) SuppressedLeak() {
 	c.mu.Lock() //lint:allow deferunlock fixture: released by helperUnlock after the caller's barrier
 	c.n++
 }
+
+// SnapshotHandoff mirrors the overlap schedule's replica hand-off: the
+// snapshot is taken under the lock, but the blocking rendezvous with
+// the persister happens strictly after the release, on every path
+// (allowed).
+func (c *Counter) SnapshotHandoff(persist chan<- int) {
+	c.mu.Lock()
+	snap := c.n
+	ready := c.n%2 == 0
+	c.mu.Unlock()
+	if ready {
+		persist <- snap
+	}
+}
+
+// DoubleBufferTurns alternates between a guarded and an unguarded
+// buffer slot; whichever branch runs, the write lock acquired at the
+// top is released exactly once before the function blocks on the
+// rendezvous channel (allowed).
+func (c *Counter) DoubleBufferTurns(turn int, ready chan<- struct{}) int {
+	c.rw.Lock()
+	var n int
+	if turn%2 == 0 {
+		n = c.n
+		c.rw.Unlock()
+	} else {
+		n = 2 * c.n
+		c.rw.Unlock()
+	}
+	ready <- struct{}{}
+	return n
+}

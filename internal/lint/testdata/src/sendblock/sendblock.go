@@ -105,3 +105,40 @@ func EscapesToCaller(op func() error) <-chan error {
 	}()
 	return done
 }
+
+// DoubleBufferRendezvous mirrors the overlap scheduler's slot recycling
+// (DESIGN.md §11): two slots circulate through buffered free/work
+// channels whose capacity equals the slots in flight, so neither the
+// spawner's deposit nor the worker's recycle send can ever block on a
+// missing receiver (allowed).
+func DoubleBufferRendezvous(work func(int)) {
+	free := make(chan int, 2)
+	free <- 0
+	free <- 1
+	workCh := make(chan int, 2)
+	go func() {
+		for s := range workCh {
+			work(s)
+			free <- s // recycle: capacity bounds the slots in flight
+		}
+	}()
+	for i := 0; i < 4; i++ {
+		s := <-free
+		workCh <- s
+	}
+	close(workCh)
+}
+
+// GateClosedNotSent models the rendezvous gate: completion is signalled
+// by closing the channel, never by a send, so no sender can leak even
+// though the spawner only receives on the fast path (allowed).
+func GateClosedNotSent(op func(), fast bool) {
+	gate := make(chan struct{})
+	go func() {
+		op()
+		close(gate)
+	}()
+	if fast {
+		<-gate
+	}
+}

@@ -1,0 +1,97 @@
+package parallel
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestDoubleBufCopyMatchesSource(t *testing.T) {
+	const n = 3*DefaultChunk + 17 // straddle chunk boundaries
+	src := make([]float32, n)
+	for i := range src {
+		src[i] = float32(i) * 0.5
+	}
+	for _, workers := range []int{0, 1, 2, 7} {
+		var p *Pool
+		if workers > 0 {
+			var err error
+			if p, err = New(workers); err != nil {
+				t.Fatal(err)
+			}
+		}
+		d := NewDoubleBuf(n)
+		buf := d.CopyFrom(p, src)
+		for i := range src {
+			if buf[i] != src[i] {
+				t.Fatalf("workers=%d: buf[%d] = %v, want %v", workers, i, buf[i], src[i])
+			}
+		}
+		d.Release(buf)
+	}
+}
+
+func TestDoubleBufTwoInFlight(t *testing.T) {
+	d := NewDoubleBuf(8)
+	a := d.Acquire()
+	b := d.Acquire()
+	if &a[0] == &b[0] {
+		t.Fatal("Acquire returned the same buffer twice")
+	}
+	// A third Acquire must block until one buffer is released.
+	got := make(chan []float32)
+	go func() { got <- d.Acquire() }()
+	select {
+	case <-got:
+		t.Fatal("third Acquire did not block with both buffers out")
+	default:
+	}
+	d.Release(a)
+	c := <-got
+	if &c[0] != &a[0] {
+		t.Fatal("blocked Acquire did not receive the released buffer")
+	}
+	d.Release(b)
+	d.Release(c)
+}
+
+func TestDoubleBufReleaseGuards(t *testing.T) {
+	d := NewDoubleBuf(4)
+	mustPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("foreign buffer", func() { d.Release(make([]float32, 5)) })
+	mustPanic("double release", func() { d.Release(make([]float32, 4)) })
+}
+
+func TestDoubleBufConcurrentCycles(t *testing.T) {
+	const n = 256
+	d := NewDoubleBuf(n)
+	src := make([]float32, n)
+	for i := range src {
+		src[i] = float32(i)
+	}
+	p, err := New(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				buf := d.CopyFrom(p, src)
+				if buf[n-1] != src[n-1] {
+					t.Error("staged copy corrupted")
+				}
+				d.Release(buf)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -88,6 +88,11 @@ type IterProfile struct {
 	// Stall and Overlap are this window's share of the two gap kinds.
 	Stall   time.Duration `json:"stall_ns"`
 	Overlap time.Duration `json:"overlap_ns"`
+	// Overlapped is checkpoint-plane work that actually ran while the
+	// train track was busy; OverlapRatio divides it by the headroom
+	// (Overlapped + Overlap — all train-busy time in the window).
+	Overlapped   time.Duration `json:"overlapped_ns"`
+	OverlapRatio float64       `json:"overlap_ratio"`
 }
 
 // Profile is the full analysis of one trace.
@@ -107,6 +112,11 @@ type Profile struct {
 	// TrainStall and Overlap total the two gap kinds across iterations.
 	TrainStall time.Duration `json:"train_stall_ns"`
 	Overlap    time.Duration `json:"overlap_ns"`
+	// Overlapped and OverlapRatio total the achieved overlap across
+	// iterations: checkpoint-plane work hidden under train-busy time,
+	// divided by the total headroom (Overlapped + Overlap).
+	Overlapped   time.Duration `json:"overlapped_ns"`
+	OverlapRatio float64       `json:"overlap_ratio"`
 }
 
 // phaseKey orders (track, phase) pairs: by track priority, then by the
@@ -186,6 +196,7 @@ func BuildProfile(events []Event) *Profile {
 		p.Gaps = append(p.Gaps, w.gaps...)
 		p.TrainStall += w.prof.Stall
 		p.Overlap += w.prof.Overlap
+		p.Overlapped += w.prof.Overlapped
 		p.Iters = append(p.Iters, w.prof)
 		for _, seg := range w.prof.Critical {
 			k := seg.Track + "\x00" + seg.Phase
@@ -198,6 +209,9 @@ func BuildProfile(events []Event) *Profile {
 			t.Count++
 			t.Total += seg.End - seg.Start
 		}
+	}
+	if headroom := p.Overlapped + p.Overlap; headroom > 0 {
+		p.OverlapRatio = float64(p.Overlapped) / float64(headroom)
 	}
 	for _, k := range critOrder {
 		p.Critical = append(p.Critical, *critTotals[k])
@@ -430,7 +444,7 @@ func buildWindow(w *window, evs []Event) {
 			otherBusy = append(otherBusy, iv)
 		}
 		switch c.ev.Track {
-		case TrackSnapshot, TrackCheckpoint, TrackPersist:
+		case TrackOverlap, TrackSnapshot, TrackCheckpoint, TrackPersist:
 			ckptBusy = append(ckptBusy, iv)
 		}
 	}
@@ -474,6 +488,15 @@ func buildWindow(w *window, evs []Event) {
 			Busy: busyIn(iv.start, iv.end, true),
 		})
 		w.prof.Overlap += iv.end - iv.start
+	}
+	// Achieved overlap: checkpoint-plane work that ran under train-busy
+	// time. The headroom is all train-busy time, which splits exactly
+	// into Overlapped (used) and Overlap (the remaining open window).
+	for _, iv := range intersectIntervals(trainBusy, ckptBusy) {
+		w.prof.Overlapped += iv.end - iv.start
+	}
+	if headroom := w.prof.Overlapped + w.prof.Overlap; headroom > 0 {
+		w.prof.OverlapRatio = float64(w.prof.Overlapped) / float64(headroom)
 	}
 }
 

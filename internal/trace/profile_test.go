@@ -96,6 +96,55 @@ func TestBuildProfileWindowsAndGaps(t *testing.T) {
 	}
 }
 
+// TestBuildProfileAchievedOverlap scripts a pipelined run: the overlap
+// track compresses and snapshots iteration i's checkpoint state while
+// the train track runs iteration i+1's wave. The achieved-overlap ratio
+// must be the overlapped work divided by the train-busy headroom.
+func TestBuildProfileAchievedOverlap(t *testing.T) {
+	epoch := time.Unix(0, 0).UTC()
+	cur := epoch
+	r := NewWithClock(func() time.Time { return cur })
+	at := func(us int64) time.Time { return epoch.Add(time.Duration(us) * time.Microsecond) }
+	span := func(track, name string, startUS, endUS, iter int64) {
+		cur = at(endUS)
+		r.Span(track, name, at(startUS), map[string]interface{}{"iter": iter})
+	}
+	for i := int64(1); i <= 2; i++ {
+		base := (i - 1) * 10000
+		span(TrackTrain, PhaseCompute, base, base+4000, i)
+		span(TrackTrain, PhaseAllGather, base+4000, base+8000, i)
+		// Checkpoint slices for the previous iteration, nested inside
+		// this wave: 2ms of the 10ms train-busy window is reclaimed.
+		if i > 1 {
+			span(TrackOverlap, PhaseCompress, base+4000, base+5000, i-1)
+			span(TrackOverlap, PhaseSnapshot, base+5000, base+6000, i-1)
+		}
+		span(TrackTrain, PhaseApply, base+8000, base+10000, i)
+		span(TrackTrain, PhaseIteration, base, base+10000, i)
+	}
+	p := BuildProfile(r.Events())
+	if len(p.Iters) != 2 {
+		t.Fatalf("got %d windows, want 2", len(p.Iters))
+	}
+	w1, w2 := p.Iters[0], p.Iters[1]
+	if w1.Overlapped != 0 || w1.OverlapRatio != 0 {
+		t.Fatalf("window 1 overlapped = %v ratio %v, want zero", w1.Overlapped, w1.OverlapRatio)
+	}
+	if w2.Overlapped != 2000*time.Microsecond {
+		t.Fatalf("window 2 overlapped = %v, want 2ms", w2.Overlapped)
+	}
+	if w2.Overlap != 8000*time.Microsecond {
+		t.Fatalf("window 2 overlap-window = %v, want 8ms", w2.Overlap)
+	}
+	if want := 0.2; w2.OverlapRatio != want {
+		t.Fatalf("window 2 ratio = %v, want %v", w2.OverlapRatio, want)
+	}
+	// Profile totals: 2ms overlapped out of 20ms headroom.
+	if p.Overlapped != 2000*time.Microsecond || p.OverlapRatio != 0.1 {
+		t.Fatalf("profile overlapped = %v ratio %v, want 2ms / 0.1", p.Overlapped, p.OverlapRatio)
+	}
+}
+
 func TestBuildProfileCriticalPath(t *testing.T) {
 	p := BuildProfile(goldenTimeline())
 	// Critical totals must cover the whole windowed span with no idle row

@@ -31,6 +31,12 @@ func fmtPct(part, whole time.Duration) string {
 	return fmt.Sprintf("%.1f%%", 100*float64(part)/float64(whole))
 }
 
+// fmtRatio renders an achieved-overlap ratio (overlapped ÷ headroom);
+// "-" when there was no headroom to overlap into.
+func fmtRatio(overlapped, headroom time.Duration) string {
+	return fmtPct(overlapped, headroom)
+}
+
 // WriteText renders the profile as a fixed-layout text report.
 func (p *Profile) WriteText(w io.Writer) error {
 	fmt.Fprintf(w, "== trace profile ==\n")
@@ -87,6 +93,8 @@ func (p *Profile) WriteText(w io.Writer) error {
 		fmtDur(p.TrainStall), stallN, fmtPct(p.TrainStall, span))
 	fmt.Fprintf(w, "overlap-window: total %s over %d windows (%s of span) — train busy, checkpoint/persist idle\n",
 		fmtDur(p.Overlap), overlapN, fmtPct(p.Overlap, span))
+	fmt.Fprintf(w, "achieved:       %s overlapped (%s of headroom) — checkpoint-plane work hidden under train-busy time\n",
+		fmtDur(p.Overlapped), fmtRatio(p.Overlapped, p.Overlapped+p.Overlap))
 	gaps := append([]Gap(nil), p.Gaps...)
 	sort.Slice(gaps, func(i, j int) bool {
 		a, b := gaps[i], gaps[j]
@@ -120,7 +128,7 @@ func (p *Profile) WriteText(w io.Writer) error {
 
 	fmt.Fprintf(w, "\n-- per-iteration --\n")
 	tw = tabwriter.NewWriter(w, 2, 0, 2, ' ', 0)
-	fmt.Fprintf(tw, "iter\twall\twindow\tstall\toverlap\tcritical-top\n")
+	fmt.Fprintf(tw, "iter\twall\twindow\tstall\toverlap\tratio\tcritical-top\n")
 	for _, it := range p.Iters {
 		top := "idle"
 		var topDur time.Duration
@@ -148,9 +156,10 @@ func (p *Profile) WriteText(w io.Writer) error {
 		if topDur > 0 {
 			topCell = fmt.Sprintf("%s %s", top, fmtDur(topDur))
 		}
-		fmt.Fprintf(tw, "%d\t%s\t%s\t%s\t%s\t%s\n",
+		fmt.Fprintf(tw, "%d\t%s\t%s\t%s\t%s\t%s\t%s\n",
 			it.Iter, fmtDur(it.Wall), fmtDur(it.End-it.Start),
-			fmtDur(it.Stall), fmtDur(it.Overlap), topCell)
+			fmtDur(it.Stall), fmtDur(it.Overlap),
+			fmtRatio(it.Overlapped, it.Overlapped+it.Overlap), topCell)
 	}
 	return tw.Flush()
 }
@@ -183,8 +192,13 @@ type ProfileDiff struct {
 	StallB   time.Duration `json:"train_stall_b_ns"`
 	OverlapA time.Duration `json:"overlap_a_ns"`
 	OverlapB time.Duration `json:"overlap_b_ns"`
-	EventsA  int           `json:"events_a"`
-	EventsB  int           `json:"events_b"`
+	// Achieved-overlap totals and ratios (overlapped work ÷ headroom).
+	OverlappedA time.Duration `json:"overlapped_a_ns"`
+	OverlappedB time.Duration `json:"overlapped_b_ns"`
+	RatioA      float64       `json:"overlap_ratio_a"`
+	RatioB      float64       `json:"overlap_ratio_b"`
+	EventsA     int           `json:"events_a"`
+	EventsB     int           `json:"events_b"`
 }
 
 // DiffProfiles compares two profiles phase-by-phase.
@@ -193,6 +207,8 @@ func DiffProfiles(a, b *Profile) *ProfileDiff {
 		StepA: a.Step, StepB: b.Step,
 		StallA: a.TrainStall, StallB: b.TrainStall,
 		OverlapA: a.Overlap, OverlapB: b.Overlap,
+		OverlappedA: a.Overlapped, OverlappedB: b.Overlapped,
+		RatioA: a.OverlapRatio, RatioB: b.OverlapRatio,
 		EventsA: a.Events, EventsB: b.Events,
 	}
 	byKey := map[string]*PhaseDelta{}
@@ -240,6 +256,10 @@ func (d *ProfileDiff) WriteText(w io.Writer) error {
 	}
 	fmt.Fprintf(w, "train-stall:    %s -> %s (%s)\n", fmtDur(d.StallA), fmtDur(d.StallB), fmtDelta(d.StallA, d.StallB))
 	fmt.Fprintf(w, "overlap-window: %s -> %s (%s)\n", fmtDur(d.OverlapA), fmtDur(d.OverlapB), fmtDelta(d.OverlapA, d.OverlapB))
+	fmt.Fprintf(w, "achieved:       %s -> %s overlapped (ratio %s -> %s)\n",
+		fmtDur(d.OverlappedA), fmtDur(d.OverlappedB),
+		fmtRatio(d.OverlappedA, d.OverlappedA+d.OverlapA),
+		fmtRatio(d.OverlappedB, d.OverlappedB+d.OverlapB))
 	fmt.Fprintf(w, "\n-- phase totals --\n")
 	tw := tabwriter.NewWriter(w, 2, 0, 2, ' ', 0)
 	fmt.Fprintf(tw, "track/phase\tA-total\tB-total\tdelta\trel\n")

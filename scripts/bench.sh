@@ -4,7 +4,9 @@
 # BENCH_obs.json, then runs the data-plane composite benchmarks (serial
 # baseline vs k-way/pooled compress+merge, pooled decompress) and writes
 # them to BENCH_dataplane.json, then the step-phase profiler overhead
-# benchmarks (enabled recorder vs nil fast path) into BENCH_trace.json
+# benchmarks (enabled recorder vs nil fast path) into BENCH_trace.json,
+# and finally the overlapped-vs-sequential step-schedule benchmarks
+# (PP engine against a latency-injecting store) into BENCH_overlap.json
 # (benchmark name -> ns/op, B/op, allocs/op).
 #
 #   BENCHTIME=1x scripts/bench.sh     # CI smoke: one iteration per benchmark
@@ -27,6 +29,7 @@ BENCHTIME="${BENCHTIME:-1s}"
 BENCH_OUT="${BENCH_OUT:-BENCH_obs.json}"
 BENCH_DATAPLANE_OUT="${BENCH_DATAPLANE_OUT:-BENCH_dataplane.json}"
 BENCH_TRACE_OUT="${BENCH_TRACE_OUT:-BENCH_trace.json}"
+BENCH_OVERLAP_OUT="${BENCH_OVERLAP_OUT:-BENCH_overlap.json}"
 GATE_BENCHTIME="${GATE_BENCHTIME:-100x}"
 
 if [ "${SKIP_ALLOC_GATE:-0}" != "1" ] && [ -f BENCH_dataplane.json ]; then
@@ -43,6 +46,16 @@ if [ "${SKIP_ALLOC_GATE:-0}" != "1" ] && [ -f BENCH_trace.json ]; then
     echo "== allocs/op gate: trace step spans vs checked-in BENCH_trace.json (benchtime $GATE_BENCHTIME) ==" >&2
     go test -run '^$' -bench 'TraceStepSpansEnabled' -benchmem -benchtime "$GATE_BENCHTIME" ./internal/trace |
         go run ./cmd/benchfmt -gate BENCH_trace.json -gate-match StepSpansEnabled -slack 0.25
+fi
+
+# Overlap-schedule gate: the pipelined step schedule must not grow the
+# per-iteration allocation footprint over the sequential baseline (both
+# sub-benchmarks are gated; the checked-in ns/op gap documents the
+# step-time reduction but is never gated).
+if [ "${SKIP_ALLOC_GATE:-0}" != "1" ] && [ -f BENCH_overlap.json ]; then
+    echo "== allocs/op gate: overlap step schedule vs checked-in BENCH_overlap.json (benchtime $GATE_BENCHTIME) ==" >&2
+    go test -run '^$' -bench 'OverlapStep' -benchmem -benchtime "$GATE_BENCHTIME" ./internal/core |
+        go run ./cmd/benchfmt -gate BENCH_overlap.json -gate-match OverlapStep -slack 0.25
 fi
 
 tmp=$(mktemp)
@@ -75,3 +88,13 @@ go test -run '^$' -bench 'BenchmarkTrace' -benchmem -benchtime "$BENCHTIME" ./in
 
 go run ./cmd/benchfmt <"$trtmp" >"$BENCH_TRACE_OUT"
 echo "wrote $BENCH_TRACE_OUT" >&2
+
+ovtmp=$(mktemp)
+trap 'rm -f "$tmp" "$dptmp" "$trtmp" "$ovtmp"' EXIT
+
+echo "== go test -bench OverlapStep ./internal/core (benchtime $BENCHTIME) ==" >&2
+go test -run '^$' -bench 'OverlapStep' -benchmem -benchtime "$BENCHTIME" ./internal/core |
+    tee "$ovtmp" >&2
+
+go run ./cmd/benchfmt <"$ovtmp" >"$BENCH_OVERLAP_OUT"
+echo "wrote $BENCH_OVERLAP_OUT" >&2

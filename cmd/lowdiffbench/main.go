@@ -30,12 +30,15 @@ func main() {
 		"data-plane pool workers for the functional experiments (1: serial; results are bit-identical either way)")
 	overlap := flag.Bool("overlap", false,
 		"pipelined step schedule: overlap checkpoint work with the next iteration's communication wave (results are bit-identical)")
+	storeURL := flag.String("store", "",
+		"route functional experiments' checkpoints to a lowdiffd daemon, tcp://host:port/tenant (empty: in-memory)")
 	opsAddr := flag.String("ops-addr", "", "serve /metrics, /healthz, /snapshot, and pprof on this address while experiments run (empty: off)")
 	traceOut := flag.String("trace-out", "", "write the functional experiments' span timeline as JSONL to this file (input for lowdifftrace)")
 	flag.Parse()
 
 	experiments.SetParallelism(*parallelism)
 	experiments.SetOverlap(*overlap)
+	experiments.SetStoreURL(*storeURL)
 
 	var rec *trace.Recorder
 	if *traceOut != "" {

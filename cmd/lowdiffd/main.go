@@ -1,0 +1,162 @@
+// Command lowdiffd is the multi-tenant checkpoint storage daemon: many
+// training jobs share one checkpoint pool over TCP instead of each writing
+// to its own local directory. Engines connect with `-store
+// tcp://host:port/tenant` (or storage.DialURL); each tenant gets an
+// isolated namespace, a byte quota, and admission-controlled back-pressure.
+//
+// Examples:
+//
+//	lowdiffd -addr :7430 -dir /var/lib/lowdiff            # serve a shared pool
+//	lowdiffd -addr :7430 -dir /tmp/pool -quota 256MiB     # per-tenant byte quota
+//	lowdiffd -addr :7430 -dir /tmp/pool -hot 512MiB       # memory hot tier over disk
+//	lowdiffd -addr :7430 -dir /tmp/pool -validate-fulls   # verify chains on full arrival
+//	lowdiffd -addr :7430 -dir /tmp/pool -ops-addr :9090   # /metrics, /healthz, pprof
+//	lowdiffd -addr :7430 -dir /tmp/pool -chaos-drop 0.01 -chaos-seed 7  # fault drills
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"syscall"
+
+	"lowdiff/internal/obs"
+	"lowdiff/internal/storage"
+	"lowdiff/internal/storaged"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7430", "TCP listen address for the checkpoint protocol")
+	dir := flag.String("dir", "", "root directory for tenant namespaces (empty: in-memory, volatile)")
+	quota := flag.String("quota", "0", "per-tenant committed-byte quota, e.g. 256MiB (0: unlimited)")
+	inflight := flag.String("inflight", "64MiB",
+		"per-tenant staged-byte bound before CREATE gets RETRY back-pressure (0: unlimited)")
+	hot := flag.String("hot", "0",
+		"in-memory hot tier per tenant: watermark size over the disk cold tier (0: disk only)")
+	validateFulls := flag.Bool("validate-fulls", false,
+		"run chain validation (recovery.Verify) on every full-checkpoint commit")
+	retryHint := flag.Uint64("retry-hint-ms", 5, "back-off hint carried in RETRY frames (milliseconds)")
+	opsAddr := flag.String("ops-addr", "", "serve /metrics, /healthz, /snapshot, and pprof on this address (empty: off)")
+	chaosDrop := flag.Float64("chaos-drop", 0, "probability a backing-store write fails (fault drills)")
+	chaosFlip := flag.Float64("chaos-flip", 0, "probability a backing-store read observes a bit flip (fault drills)")
+	chaosSeed := flag.Uint64("chaos-seed", 1, "seed for deterministic chaos injection")
+	flag.Parse()
+
+	quotaBytes, err := parseSize(*quota)
+	if err != nil {
+		fatal(fmt.Errorf("-quota: %w", err))
+	}
+	inflightBytes, err := parseSize(*inflight)
+	if err != nil {
+		fatal(fmt.Errorf("-inflight: %w", err))
+	}
+	hotBytes, err := parseSize(*hot)
+	if err != nil {
+		fatal(fmt.Errorf("-hot: %w", err))
+	}
+
+	reg := obs.New()
+	cfg := storaged.Config{
+		DefaultQuotaBytes:       quotaBytes,
+		DefaultMaxInflightBytes: inflightBytes,
+		RetryHintMillis:         *retryHint,
+		ValidateFulls:           *validateFulls,
+		Registry:                reg,
+		OpenStore: func(tenant string) (storage.Store, error) {
+			var s storage.Store
+			if *dir == "" {
+				s = storage.NewMem()
+			} else {
+				fs, err := storage.NewFile(filepath.Join(*dir, tenant))
+				if err != nil {
+					return nil, err
+				}
+				s = fs
+				if hotBytes > 0 {
+					low := hotBytes / 2
+					if low < 1 {
+						low = 1
+					}
+					ts, err := storage.NewTiered(fs, hotBytes, low)
+					if err != nil {
+						return nil, err
+					}
+					s = ts
+				}
+			}
+			if *chaosDrop > 0 || *chaosFlip > 0 {
+				cs, err := storage.NewChaos(s, storage.ChaosConfig{
+					Seed:            *chaosSeed,
+					WriteFailProb:   *chaosDrop,
+					BitFlipReadProb: *chaosFlip,
+				})
+				if err != nil {
+					return nil, err
+				}
+				s = cs
+			}
+			return s, nil
+		},
+	}
+
+	srv, err := storaged.Start(*addr, cfg)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("lowdiffd listening on %s (dir=%s quota=%s inflight=%s)\n",
+		srv.Addr(), orMem(*dir), *quota, *inflight)
+
+	if *opsAddr != "" {
+		ops, err := obs.Serve(*opsAddr, obs.ServerOptions{Registry: reg, Health: srv.Health})
+		if err != nil {
+			fatal(err)
+		}
+		defer ops.Close()
+		fmt.Printf("ops server on http://%s (metrics, healthz, snapshot, pprof)\n", ops.Addr())
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("shutting down")
+	if err := srv.Close(); err != nil {
+		fatal(err)
+	}
+}
+
+func orMem(dir string) string {
+	if dir == "" {
+		return "<memory>"
+	}
+	return dir
+}
+
+// parseSize parses "0", "1048576", "64KiB", "256MiB", "2GiB".
+func parseSize(s string) (int64, error) {
+	t := strings.TrimSpace(s)
+	mult := int64(1)
+	for _, u := range []struct {
+		suffix string
+		mult   int64
+	}{{"KiB", 1 << 10}, {"MiB", 1 << 20}, {"GiB", 1 << 30}, {"KB", 1000}, {"MB", 1e6}, {"GB", 1e9}} {
+		if strings.HasSuffix(t, u.suffix) {
+			t = strings.TrimSuffix(t, u.suffix)
+			mult = u.mult
+			break
+		}
+	}
+	n, err := strconv.ParseInt(strings.TrimSpace(t), 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad size %q", s)
+	}
+	return n * mult, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "lowdiffd:", err)
+	os.Exit(1)
+}

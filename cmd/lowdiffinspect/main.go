@@ -24,14 +24,15 @@ func main() {
 		return
 	}
 	dir := flag.String("dir", "", "checkpoint directory")
+	storeURL := flag.String("store", "", "inspect a lowdiffd tenant instead: tcp://host:port/tenant")
 	verbose := flag.Bool("v", false, "decode and describe every record")
 	compact := flag.Bool("compact", false, "fold the differential chain into a fresh full checkpoint and GC")
 	flag.Parse()
-	if *dir == "" {
+	if *dir == "" && *storeURL == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
-	store, err := storage.NewFile(*dir)
+	store, err := openStore(*dir, *storeURL)
 	if err != nil {
 		fatal(err)
 	}
@@ -104,14 +105,15 @@ func main() {
 func runVerify(args []string) {
 	fs := flag.NewFlagSet("verify", flag.ExitOnError)
 	dir := fs.String("dir", "", "checkpoint directory")
+	storeURL := fs.String("store", "", "verify a lowdiffd tenant instead: tcp://host:port/tenant")
 	retries := fs.Int("retries", 3, "load attempts per object (absorbs transient read faults)")
 	jsonOut := fs.Bool("json", false, "emit a machine-readable JSON report instead of text")
 	fs.Parse(args)
-	if *dir == "" {
+	if *dir == "" && *storeURL == "" {
 		fs.Usage()
 		os.Exit(2)
 	}
-	store, err := storage.NewFile(*dir)
+	store, err := openStore(*dir, *storeURL)
 	if err != nil {
 		fatal(err)
 	}
@@ -188,6 +190,19 @@ func runVerify(args []string) {
 		os.Exit(3)
 	case report.BaseIter < 0 || !report.Clean():
 		os.Exit(1)
+	}
+}
+
+// openStore opens either a local checkpoint directory or a lowdiffd
+// tenant; exactly one of the two must be given.
+func openStore(dir, storeURL string) (storage.Store, error) {
+	switch {
+	case dir != "" && storeURL != "":
+		return nil, fmt.Errorf("-dir and -store are mutually exclusive")
+	case storeURL != "":
+		return storage.DialURL(storeURL, storage.RemoteOptions{})
+	default:
+		return storage.NewFile(dir)
 	}
 }
 

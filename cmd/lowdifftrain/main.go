@@ -36,6 +36,10 @@ func main() {
 	rho := flag.Float64("rho", 0.01, "Top-K compression ratio")
 	optName := flag.String("opt", "adam", "optimizer: adam or sgd")
 	dir := flag.String("dir", "", "checkpoint directory (empty: in-memory)")
+	storeURL := flag.String("store", "",
+		"persist checkpoints to a lowdiffd daemon, tcp://host:port/tenant (mutually exclusive with -dir)")
+	selfcheck := flag.Bool("selfcheck", false,
+		"after training, restore from the checkpoint store and require the result to be bit-exact against the live model")
 	fullEvery := flag.Int("full-every", 50, "full-checkpoint interval (iterations)")
 	batch := flag.Int("batch", 5, "batched gradient write size")
 	crash := flag.Int("crash", 0, "simulate a crash after this many iterations (0: none)")
@@ -59,7 +63,17 @@ func main() {
 	flag.Parse()
 
 	var store storage.Store = storage.NewMem()
-	if *dir != "" {
+	switch {
+	case *storeURL != "" && *dir != "":
+		fatal(fmt.Errorf("-store and -dir are mutually exclusive"))
+	case *storeURL != "":
+		r, err := storage.DialURL(*storeURL, storage.RemoteOptions{Seed: *seed})
+		if err != nil {
+			fatal(err)
+		}
+		defer func() { _ = r.Close() }()
+		store = r
+	case *dir != "":
 		fs, err := storage.NewFile(*dir)
 		if err != nil {
 			fatal(err)
@@ -87,8 +101,8 @@ func main() {
 	}
 
 	if *doRecover {
-		if *dir == "" {
-			fatal(fmt.Errorf("-recover needs -dir"))
+		if *dir == "" && *storeURL == "" {
+			fatal(fmt.Errorf("-recover needs -dir or -store"))
 		}
 		var st *recovery.State
 		var applied int
@@ -144,7 +158,17 @@ func main() {
 		eventsFile = nil
 	}
 
+	if *selfcheck && *batch > 1 {
+		// Batched replay folds b gradients into one step: under Adam that
+		// is the gradient-accumulation approximation, and even under SGD
+		// the reassociated float adds drift by ULPs (see the recovery
+		// package docs). Only unbatched replay is bit-exact.
+		fatal(fmt.Errorf("-selfcheck needs an exactly-replayable chain: use -batch 1"))
+	}
 	if *plus {
+		if *selfcheck {
+			fatal(fmt.Errorf("-selfcheck supports the standard engine only (LowDiff+ persists on its own interval)"))
+		}
 		runPlus(scaled, store, *workers, *iters, *parallelism, *overlap, *seed, *opsAddr, reg, events, rec)
 		writeTraces()
 		closeEvents()
@@ -206,6 +230,25 @@ func main() {
 		run, stats.FinalLoss, stats.DiffWrites, byteCount(stats.DiffBytes), stats.FullWrites, stats.SnapshotTime)
 	if *peer {
 		reportPeerRecovery(e, store)
+	}
+	if *selfcheck {
+		// Serial replay: parallel recovery's log-n merge reorders float
+		// adds (~1 ULP), which optimizer nonlinearity amplifies — only the
+		// serial path is bit-exact for every optimizer (DESIGN.md §6).
+		st, applied, err := recovery.Latest(store)
+		if err != nil {
+			fatal(err)
+		}
+		if st.Iter != int64(run) {
+			fatal(fmt.Errorf("selfcheck: restore landed at iteration %d, want %d", st.Iter, run))
+		}
+		if !st.Params.Equal(e.Params()) {
+			md, _ := st.Params.MaxAbsDiff(e.Params())
+			fatal(fmt.Errorf("selfcheck: restored parameters diverge from the live model at iteration %d (max |err| %g)",
+				run, md))
+		}
+		fmt.Printf("selfcheck: restore is bit-exact at iteration %d (%d differential records applied)\n",
+			st.Iter, applied)
 	}
 	writeTraces()
 	closeEvents()

@@ -90,6 +90,7 @@ func goldenConfigs(par int, overlap bool) []goldenConfig {
 				o.Events = events
 				o.Parallelism = par
 				o.Overlap = overlap
+				o.FaultTolerance = goldenFaultTolerance
 				return NewEngine(o)
 			},
 			run: func(e goldenEngine, iters int) (int64, int64, error) {

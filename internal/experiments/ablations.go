@@ -40,7 +40,12 @@ func ablationBatch() (*Table, error) {
 		Header: []string{"batch size", "wall time", "store writes", "blocked puts"},
 	}
 	for _, bs := range []int{1, 4, 12} {
-		throttled, err := storage.NewThrottled(storage.NewMem(), 3e6)
+		base, release, err := newStore("ablation-batch")
+		if err != nil {
+			return nil, err
+		}
+		defer release()
+		throttled, err := storage.NewThrottled(base, 3e6)
 		if err != nil {
 			return nil, err
 		}
@@ -86,7 +91,12 @@ func ablationQueue() (*Table, error) {
 		Header: []string{"queue cap", "blocked puts", "queue high-water", "wall time"},
 	}
 	for _, cap := range []int{1, 4, 16, 64} {
-		throttled, err := storage.NewThrottled(storage.NewMem(), 2e6)
+		base, release, err := newStore("ablation-queue")
+		if err != nil {
+			return nil, err
+		}
+		defer release()
+		throttled, err := storage.NewThrottled(base, 2e6)
 		if err != nil {
 			return nil, err
 		}
@@ -123,7 +133,11 @@ func ablationRecovery() (*Table, error) {
 		return nil, err
 	}
 	scaled := spec.Scaled(2000)
-	store := storage.NewMem()
+	store, release, err := newStore("ablation-recovery")
+	if err != nil {
+		return nil, err
+	}
+	defer release()
 	e, err := core.NewEngine(core.Options{
 		Spec: scaled, Workers: 1, Optimizer: "sgd", LR: 0.05, Rho: 0.02,
 		Store: store, FullEvery: 96, BatchSize: 1, Parallelism: dataPlaneParallelism, Overlap: overlapEnabled, Trace: traceRecorder, Seed: 23,

@@ -16,6 +16,7 @@ import (
 	"sort"
 	"strings"
 
+	"lowdiff/internal/storage"
 	"lowdiff/internal/trace"
 )
 
@@ -132,6 +133,42 @@ var traceRecorder *trace.Recorder
 // SetTrace sets the span recorder the functional experiments record into.
 // Nil (the default) disables tracing.
 func SetTrace(rec *trace.Recorder) { traceRecorder = rec }
+
+// storeURL, when non-empty, points the functional experiments at a shared
+// lowdiffd checkpoint daemon ("tcp://host:port/tenant") instead of private
+// in-memory stores. Set through SetStoreURL before running.
+var storeURL string
+
+// SetStoreURL routes every functional experiment's checkpoint traffic to a
+// lowdiffd daemon. Each experiment gets its own tenant namespace —
+// "<tenant>-<label>" — so concurrent experiments never collide, and each
+// namespace is cleared before use so runs start from a clean slate.
+// Results are bit-identical to the in-memory default; only the transport
+// changes. Empty (the default) keeps experiments on storage.NewMem.
+func SetStoreURL(u string) { storeURL = u }
+
+// newStore returns the checkpoint store an experiment should persist to
+// plus a release func for when the experiment is done with it. Labels are
+// reused across a sweep's iterations; the clean-slate Clear between
+// iterations keeps their manifests from bleeding into each other.
+func newStore(label string) (storage.Store, func(), error) {
+	if storeURL == "" {
+		return storage.NewMem(), func() {}, nil
+	}
+	addr, tenant, err := storage.ParseURL(storeURL)
+	if err != nil {
+		return nil, nil, err
+	}
+	r, err := storage.DialRemote(addr, tenant+"-"+label, storage.RemoteOptions{})
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := storage.Clear(r); err != nil {
+		_ = r.Close() // the Clear failure is primary
+		return nil, nil, err
+	}
+	return r, func() { _ = r.Close() }, nil
+}
 
 // Generator produces one experiment's table.
 type Generator func() (*Table, error)

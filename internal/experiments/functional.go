@@ -59,7 +59,12 @@ func funcTrain() (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	withCkpt, stats, err := run(storage.NewMem())
+	store, release, err := newStore("func-train")
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	withCkpt, stats, err := run(store)
 	if err != nil {
 		return nil, err
 	}
@@ -85,7 +90,11 @@ func funcRecovery() (*Table, error) {
 		return nil, err
 	}
 	scaled := spec.Scaled(funcScale)
-	store := storage.NewMem()
+	store, release, err := newStore("func-recovery")
+	if err != nil {
+		return nil, err
+	}
+	defer release()
 	e, err := core.NewEngine(core.Options{
 		Spec: scaled, Workers: 1, Optimizer: "sgd", LR: 0.05, Rho: 0.02,
 		Store: store, FullEvery: 64, BatchSize: 1, Parallelism: dataPlaneParallelism, Overlap: overlapEnabled, Trace: traceRecorder, Seed: 7,
@@ -151,7 +160,12 @@ func funcBatch() (*Table, error) {
 		Header: []string{"batch size", "store writes", "bytes written", "wall time"},
 	}
 	for _, bs := range []int{1, 2, 5, 10, 20} {
-		stats := storage.NewStats(storage.NewMem())
+		base, release, err := newStore("func-batch")
+		if err != nil {
+			return nil, err
+		}
+		defer release()
+		stats := storage.NewStats(base)
 		e, err := core.NewEngine(core.Options{
 			Spec: scaled, Workers: 1, Rho: 0.02, Store: stats,
 			FullEvery: iters, BatchSize: bs, Parallelism: dataPlaneParallelism, Overlap: overlapEnabled, Trace: traceRecorder, Seed: 3,
@@ -190,7 +204,11 @@ func funcPP() (*Table, error) {
 		Header: []string{"stages", "wall time", "diff batches", "recovered iter", "max |err| vs live"},
 	}
 	for _, stages := range []int{1, 2, 4} {
-		store := storage.NewMem()
+		store, release, err := newStore("func-pp")
+		if err != nil {
+			return nil, err
+		}
+		defer release()
 		e, err := core.NewPPEngine(core.PPOptions{
 			Spec: scaled, Stages: stages, Rho: 0.05, LR: 0.02,
 			Store: store, FullEvery: 20, BatchSize: 1, Parallelism: dataPlaneParallelism, Overlap: overlapEnabled, Trace: traceRecorder, Seed: 9,
@@ -250,7 +268,11 @@ func funcPeer() (*Table, error) {
 		{"2 of 3 crash @25", []comm.Crash{{Rank: 1, Iter: 25}, {Rank: 2, Iter: 25}}},
 		{"all crash @25", []comm.Crash{{Rank: 0, Iter: 25}, {Rank: 1, Iter: 25}, {Rank: 2, Iter: 25}}},
 	} {
-		store := storage.NewMem()
+		store, release, err := newStore("func-peer")
+		if err != nil {
+			return nil, err
+		}
+		defer release()
 		var chaos *comm.ChaosConfig
 		if sc.crashes != nil {
 			chaos = &comm.ChaosConfig{Crashes: sc.crashes}
@@ -308,7 +330,11 @@ func funcStorage() (*Table, error) {
 			return nil, err
 		}
 		scaled := spec.Scaled(funcScale)
-		store := storage.NewMem()
+		store, release, err := newStore("func-storage")
+		if err != nil {
+			return nil, err
+		}
+		defer release()
 		e, err := core.NewEngine(core.Options{
 			Spec: scaled, Workers: 2, Rho: 0.01, Store: store,
 			FullEvery: 4, BatchSize: 1, Parallelism: dataPlaneParallelism, Overlap: overlapEnabled, Trace: traceRecorder, Seed: 5,

@@ -123,6 +123,10 @@ func DefaultConfig() *Config {
 			// any map iteration or wall-clock read in the analyzer or the
 			// serializers would make reports flap between runs.
 			"lowdiff/internal/trace",
+			// The checkpoint daemon must reproduce the golden fixtures byte
+			// for byte over the wire; its quota accounting and admission
+			// decisions may not depend on wall clocks or map order.
+			"lowdiff/internal/storaged",
 		},
 		FloatEqAllowFuncs: []string{
 			"lowdiff/internal/tensor.Vector.Equal",

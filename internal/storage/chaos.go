@@ -181,6 +181,12 @@ func (w *chaosWriter) Close() error {
 	return WriteObject(w.c.Store, w.name, data)
 }
 
+// Abort discards the buffered object; nothing reaches the wrapped store.
+func (w *chaosWriter) Abort() error {
+	w.closed = true
+	return nil
+}
+
 // Create implements Store. Fault decisions are drawn when the writer is
 // created, so the injected outcome is fixed per attempt.
 func (c *Chaos) Create(name string) (io.WriteCloser, error) {

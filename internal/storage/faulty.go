@@ -83,6 +83,15 @@ func (w *faultyWriter) Close() error {
 	return w.WriteCloser.Close()
 }
 
+// Abort discards the staged write. A doomed writer never reached the
+// device, so there is nothing to clean up and the abort itself succeeds.
+func (w *faultyWriter) Abort() error {
+	if w.doomed {
+		return nil
+	}
+	return AbortWriter(w.WriteCloser)
+}
+
 // Create implements Store.
 func (f *Faulty) Create(name string) (io.WriteCloser, error) {
 	f.mu.Lock()

@@ -1,0 +1,302 @@
+// Wire protocol shared by the Remote client store and the lowdiffd
+// checkpoint storage daemon (internal/storaged). The protocol is a strict
+// request/response exchange of length-prefixed binary frames over one TCP
+// connection:
+//
+//	uint32  payload length N (big endian; N = 1 opcode byte + body)
+//	byte    opcode
+//	[]byte  body (opcode-specific)
+//	uint32  CRC-32 (IEEE) of opcode+body — a per-frame integrity trailer
+//
+// A connection speaks for exactly one tenant: the first frame must be
+// HELLO carrying the protocol version and tenant name. Object uploads are
+// streamed: CREATE opens a staged write, DATA frames carry chunks (each
+// individually acknowledged, which doubles as flow control), and COMMIT
+// publishes the object atomically via the backing store's temp+rename
+// contract; ABORT discards the staging. Back-pressure is explicit: an
+// admission-controlled server answers CREATE with RETRY instead of OK, and
+// clients feed that into their jittered-backoff retry policy.
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// ProtoVersion is the wire protocol version carried in HELLO frames.
+const ProtoVersion = 1
+
+// DefaultMaxFrame bounds a single frame's payload; DATA chunks and names
+// must fit. Both sides enforce it, so a corrupt length prefix cannot make
+// a receiver allocate unbounded memory.
+const DefaultMaxFrame = 8 << 20
+
+// Opcodes. Client-to-server requests first, then server replies.
+const (
+	OpHello  byte = 0x01 // version byte + tenant string
+	OpCreate byte = 0x02 // object name
+	OpData   byte = 0x03 // raw chunk bytes (during an open CREATE)
+	OpCommit byte = 0x04 // empty: publish the staged object
+	OpAbort  byte = 0x05 // empty: discard the staged object
+	OpGet    byte = 0x06 // object name
+	OpList   byte = 0x07 // name prefix
+	OpDelete byte = 0x08 // object name
+	OpSize   byte = 0x09 // object name
+	OpStat   byte = 0x0a // empty: tenant usage snapshot
+
+	OpOK    byte = 0x81 // empty
+	OpErr   byte = 0x82 // code byte + message string
+	OpRetry byte = 0x83 // uint64 back-off hint in milliseconds
+	OpChunk byte = 0x84 // raw chunk bytes (GET reply; terminated by OK)
+	OpNames byte = 0x85 // uint32 count + strings (LIST reply)
+	OpInt   byte = 0x86 // uint64 (SIZE reply)
+	OpUsage byte = 0x87 // used, quota, inflight, objects uint64s (STAT reply)
+)
+
+// Error codes carried in OpErr frames.
+const (
+	CodeNotExist   byte = 1 // object does not exist (maps to IsNotExist)
+	CodeQuota      byte = 2 // tenant byte quota exceeded (maps to ErrQuotaExceeded)
+	CodeBadRequest byte = 3 // malformed frame, bad name, protocol violation
+	CodeInternal   byte = 4 // backing-store failure
+)
+
+// opName returns a human-readable opcode name for errors and metrics.
+func OpName(op byte) string {
+	switch op {
+	case OpHello:
+		return "hello"
+	case OpCreate:
+		return "create"
+	case OpData:
+		return "data"
+	case OpCommit:
+		return "commit"
+	case OpAbort:
+		return "abort"
+	case OpGet:
+		return "get"
+	case OpList:
+		return "list"
+	case OpDelete:
+		return "delete"
+	case OpSize:
+		return "size"
+	case OpStat:
+		return "stat"
+	case OpOK:
+		return "ok"
+	case OpErr:
+		return "err"
+	case OpRetry:
+		return "retry"
+	case OpChunk:
+		return "chunk"
+	case OpNames:
+		return "names"
+	case OpInt:
+		return "int"
+	case OpUsage:
+		return "usage"
+	default:
+		return fmt.Sprintf("op(0x%02x)", op)
+	}
+}
+
+// WriteFrame emits one frame: length prefix, opcode, body, CRC trailer.
+func WriteFrame(w io.Writer, op byte, body []byte) error {
+	var hdr [5]byte
+	binary.BigEndian.PutUint32(hdr[:4], uint32(1+len(body)))
+	hdr[4] = op
+	crc := crc32.ChecksumIEEE(hdr[4:5])
+	crc = crc32.Update(crc, crc32.IEEETable, body)
+	var trailer [4]byte
+	binary.BigEndian.PutUint32(trailer[:], crc)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if len(body) > 0 {
+		if _, err := w.Write(body); err != nil {
+			return err
+		}
+	}
+	_, err := w.Write(trailer[:])
+	return err
+}
+
+// ReadFrame reads one frame, enforcing maxFrame and verifying the CRC
+// trailer. A CRC mismatch or oversized frame poisons the connection: the
+// caller must close it, because framing can no longer be trusted.
+func ReadFrame(r io.Reader, maxFrame int) (op byte, body []byte, err error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n < 1 || int(n) > maxFrame+1 {
+		return 0, nil, fmt.Errorf("storage: frame length %d out of range (max %d)", n, maxFrame)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, err
+	}
+	var trailer [4]byte
+	if _, err := io.ReadFull(r, trailer[:]); err != nil {
+		return 0, nil, err
+	}
+	if got, want := crc32.ChecksumIEEE(payload), binary.BigEndian.Uint32(trailer[:]); got != want {
+		return 0, nil, fmt.Errorf("storage: frame CRC mismatch on %s (got %08x want %08x)",
+			OpName(payload[0]), got, want)
+	}
+	return payload[0], payload[1:], nil
+}
+
+// Body encoding helpers: strings are uint32-length-prefixed, integers are
+// 8-byte big endian. Decoding is strict — short bodies and trailing bytes
+// are protocol errors, mirroring the checkpoint package's strict parsing.
+
+func AppendU64(b []byte, v uint64) []byte {
+	var x [8]byte
+	binary.BigEndian.PutUint64(x[:], v)
+	return append(b, x[:]...)
+}
+
+func AppendString(b []byte, s string) []byte {
+	var x [4]byte
+	binary.BigEndian.PutUint32(x[:], uint32(len(s)))
+	return append(append(b, x[:]...), s...)
+}
+
+// WireReader decodes a frame body with a sticky error.
+type WireReader struct {
+	b   []byte
+	err error
+}
+
+// NewWireReader wraps a frame body for strict decoding.
+func NewWireReader(b []byte) *WireReader { return &WireReader{b: b} }
+
+func (r *WireReader) fail() {
+	if r.err == nil {
+		r.err = fmt.Errorf("storage: truncated frame body")
+	}
+}
+
+func (r *WireReader) U64() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	if len(r.b) < 8 {
+		r.fail()
+		return 0
+	}
+	v := binary.BigEndian.Uint64(r.b[:8])
+	r.b = r.b[8:]
+	return v
+}
+
+func (r *WireReader) U32() uint32 {
+	if r.err != nil {
+		return 0
+	}
+	if len(r.b) < 4 {
+		r.fail()
+		return 0
+	}
+	v := binary.BigEndian.Uint32(r.b[:4])
+	r.b = r.b[4:]
+	return v
+}
+
+func (r *WireReader) Str() string {
+	n := r.U32()
+	if r.err != nil {
+		return ""
+	}
+	if uint32(len(r.b)) < n {
+		r.fail()
+		return ""
+	}
+	s := string(r.b[:n])
+	r.b = r.b[n:]
+	return s
+}
+
+func (r *WireReader) Byte() byte {
+	if r.err != nil {
+		return 0
+	}
+	if len(r.b) < 1 {
+		r.fail()
+		return 0
+	}
+	v := r.b[0]
+	r.b = r.b[1:]
+	return v
+}
+
+// done asserts the body was fully consumed.
+func (r *WireReader) Done() error {
+	if r.err != nil {
+		return r.err
+	}
+	if len(r.b) != 0 {
+		return fmt.Errorf("storage: %d trailing bytes in frame body", len(r.b))
+	}
+	return nil
+}
+
+// Usage is a tenant's accounting snapshot as reported by STAT.
+type Usage struct {
+	UsedBytes     int64 // committed bytes in the tenant's namespace
+	QuotaBytes    int64 // configured quota (0: unlimited)
+	InflightBytes int64 // staged bytes of writes still in flight
+	Objects       int64 // committed object count
+}
+
+func EncodeUsage(u Usage) []byte {
+	b := make([]byte, 0, 32)
+	b = AppendU64(b, uint64(u.UsedBytes))
+	b = AppendU64(b, uint64(u.QuotaBytes))
+	b = AppendU64(b, uint64(u.InflightBytes))
+	b = AppendU64(b, uint64(u.Objects))
+	return b
+}
+
+func DecodeUsage(body []byte) (Usage, error) {
+	r := &WireReader{b: body}
+	u := Usage{
+		UsedBytes:     int64(r.U64()),
+		QuotaBytes:    int64(r.U64()),
+		InflightBytes: int64(r.U64()),
+		Objects:       int64(r.U64()),
+	}
+	return u, r.Done()
+}
+
+func EncodeNames(names []string) []byte {
+	sz := 4
+	for _, n := range names {
+		sz += 4 + len(n)
+	}
+	b := make([]byte, 0, sz)
+	var x [4]byte
+	binary.BigEndian.PutUint32(x[:], uint32(len(names)))
+	b = append(b, x[:]...)
+	for _, n := range names {
+		b = AppendString(b, n)
+	}
+	return b
+}
+
+func DecodeNames(body []byte) ([]string, error) {
+	r := &WireReader{b: body}
+	n := r.U32()
+	var names []string
+	for i := uint32(0); i < n && r.err == nil; i++ {
+		names = append(names, r.Str())
+	}
+	return names, r.Done()
+}

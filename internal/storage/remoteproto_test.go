@@ -1,0 +1,132 @@
+package storage
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	cases := []struct {
+		op   byte
+		body []byte
+	}{
+		{OpHello, AppendString([]byte{ProtoVersion}, "tenant-a")},
+		{OpCommit, nil},
+		{OpData, bytes.Repeat([]byte{0xab}, 4096)},
+		{OpErr, AppendString([]byte{CodeQuota}, "quota exceeded")},
+	}
+	var buf bytes.Buffer
+	for _, c := range cases {
+		if err := WriteFrame(&buf, c.op, c.body); err != nil {
+			t.Fatalf("WriteFrame(%s): %v", OpName(c.op), err)
+		}
+	}
+	for _, c := range cases {
+		op, body, err := ReadFrame(&buf, DefaultMaxFrame)
+		if err != nil {
+			t.Fatalf("ReadFrame(%s): %v", OpName(c.op), err)
+		}
+		if op != c.op {
+			t.Fatalf("op = %s, want %s", OpName(op), OpName(c.op))
+		}
+		if !bytes.Equal(body, c.body) {
+			t.Fatalf("%s body mismatch: %d bytes vs %d", OpName(c.op), len(body), len(c.body))
+		}
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("%d bytes left over after reading all frames", buf.Len())
+	}
+}
+
+func TestFrameCRCMismatch(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, OpData, []byte("checkpoint chunk")); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	raw[7] ^= 0x40 // flip a bit inside the body
+	_, _, err := ReadFrame(bytes.NewReader(raw), DefaultMaxFrame)
+	if err == nil || !strings.Contains(err.Error(), "CRC") {
+		t.Fatalf("corrupted frame: got %v, want CRC mismatch", err)
+	}
+}
+
+func TestFrameOversizeRejected(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, OpData, make([]byte, 256)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ReadFrame(bytes.NewReader(buf.Bytes()), 64); err == nil {
+		t.Fatal("frame larger than maxFrame was accepted")
+	}
+	// A zero-length frame (no opcode byte) is also invalid framing.
+	if _, _, err := ReadFrame(bytes.NewReader([]byte{0, 0, 0, 0}), 64); err == nil {
+		t.Fatal("zero-length frame was accepted")
+	}
+}
+
+func TestUsageCodecRoundTrip(t *testing.T) {
+	want := Usage{UsedBytes: 1 << 40, QuotaBytes: -1, InflightBytes: 12345, Objects: 9}
+	got, err := DecodeUsage(EncodeUsage(want))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("usage round trip: got %+v, want %+v", got, want)
+	}
+	if _, err := DecodeUsage(EncodeUsage(want)[:17]); err == nil {
+		t.Fatal("truncated usage body was accepted")
+	}
+}
+
+func TestNamesCodecRoundTrip(t *testing.T) {
+	for _, want := range [][]string{nil, {"full-000000000042.ckpt"}, {"a", "b", "c"}} {
+		got, err := DecodeNames(EncodeNames(want))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("names round trip: got %v, want %v", got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("names round trip: got %v, want %v", got, want)
+			}
+		}
+	}
+	if _, err := DecodeNames(EncodeNames([]string{"abc"})[:6]); err == nil {
+		t.Fatal("truncated names body was accepted")
+	}
+}
+
+// TestWireReaderStrict covers the strict-decode contract: short bodies and
+// trailing garbage both poison the read, and Done reports it.
+func TestWireReaderStrict(t *testing.T) {
+	body := AppendString(AppendU64(nil, 7), "diff-000000000001.ckpt")
+	r := NewWireReader(body)
+	if v := r.U64(); v != 7 {
+		t.Fatalf("U64 = %d, want 7", v)
+	}
+	if s := r.Str(); s != "diff-000000000001.ckpt" {
+		t.Fatalf("Str = %q", s)
+	}
+	if err := r.Done(); err != nil {
+		t.Fatalf("clean decode reported error: %v", err)
+	}
+
+	r = NewWireReader(body)
+	r.U64()
+	r.Str()
+	r.U64() // reads past the end
+	if err := r.Done(); err == nil {
+		t.Fatal("short body was not reported")
+	}
+
+	r = NewWireReader(append(body, 0xff))
+	r.U64()
+	r.Str()
+	if err := r.Done(); err == nil {
+		t.Fatal("trailing bytes were not reported")
+	}
+}

@@ -47,8 +47,20 @@ func WriteObject(s Store, name string, data []byte) error {
 		return err
 	}
 	if _, err := w.Write(data); err != nil {
-		_ = w.Close() // write failed; surface that error, not the abort's
+		_ = AbortWriter(w) // write failed; surface that error, not the abort's
 		return err
+	}
+	return w.Close()
+}
+
+// AbortWriter discards an in-progress object write: nothing becomes
+// visible and any staged bytes (temp files, buffers) are released. Every
+// writer in this package implements Abort; for foreign writers the
+// fallback is Close, which — under this package's contract — must itself
+// refuse to commit after an intervening write error.
+func AbortWriter(w io.WriteCloser) error {
+	if a, ok := w.(interface{ Abort() error }); ok {
+		return a.Abort()
 	}
 	return w.Close()
 }
@@ -94,13 +106,21 @@ type memWriter struct {
 	buf    bytes.Buffer
 	commit func([]byte)
 	closed bool
+	err    error // latched write error; set means Close must not commit
 }
 
 func (w *memWriter) Write(p []byte) (int, error) {
 	if w.closed {
 		return 0, fmt.Errorf("storage: write after close")
 	}
-	return w.buf.Write(p)
+	if w.err != nil {
+		return 0, w.err
+	}
+	n, err := w.buf.Write(p)
+	if err != nil {
+		w.err = err
+	}
+	return n, err
 }
 
 func (w *memWriter) Close() error {
@@ -108,7 +128,17 @@ func (w *memWriter) Close() error {
 		return nil
 	}
 	w.closed = true
+	if w.err != nil {
+		// A write failed earlier: committing would publish a torn object.
+		return w.err
+	}
 	w.commit(w.buf.Bytes())
+	return nil
+}
+
+// Abort discards the staged bytes; nothing becomes visible.
+func (w *memWriter) Abort() error {
+	w.closed = true
 	return nil
 }
 
@@ -208,18 +238,40 @@ func (f *File) path(name string) (string, error) {
 
 type fileWriter struct {
 	f      *os.File
+	dir    string
 	tmp    string
 	final  string
 	closed bool
+	err    error // latched write error; set means Close must not rename
 }
 
-func (w *fileWriter) Write(p []byte) (int, error) { return w.f.Write(p) }
+func (w *fileWriter) Write(p []byte) (int, error) {
+	if w.closed {
+		return 0, fmt.Errorf("storage: write after close")
+	}
+	if w.err != nil {
+		return 0, w.err
+	}
+	n, err := w.f.Write(p)
+	if err != nil {
+		w.err = err
+	}
+	return n, err
+}
 
 func (w *fileWriter) Close() error {
 	if w.closed {
 		return nil
 	}
 	w.closed = true
+	if w.err != nil {
+		// A write failed earlier: the temp holds a torn object. Renaming it
+		// into place would violate the store's atomicity contract (the
+		// recovery layer would later quarantine it); remove it instead.
+		_ = w.f.Close()      // already failing; the write error is primary
+		_ = os.Remove(w.tmp) // best-effort cleanup of the staged temp
+		return w.err
+	}
 	if err := w.f.Sync(); err != nil {
 		_ = w.f.Close()      // already failing; sync error is primary
 		_ = os.Remove(w.tmp) // best-effort cleanup of the staged temp
@@ -229,7 +281,40 @@ func (w *fileWriter) Close() error {
 		_ = os.Remove(w.tmp) // best-effort cleanup of the staged temp
 		return err
 	}
-	return os.Rename(w.tmp, w.final)
+	if err := os.Rename(w.tmp, w.final); err != nil {
+		_ = os.Remove(w.tmp)
+		return err
+	}
+	// The rename is only durable once the directory entry itself is synced:
+	// a crash right after Close could otherwise lose a checkpoint the
+	// caller was told is persistent.
+	return syncDir(w.dir)
+}
+
+// Abort removes the staged temp; nothing becomes visible.
+func (w *fileWriter) Abort() error {
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	_ = w.f.Close() // the temp is being discarded; Remove decides the error
+	if err := os.Remove(w.tmp); err != nil && !os.IsNotExist(err) {
+		return err
+	}
+	return nil
+}
+
+// syncDir fsyncs a directory so renames within it survive a crash.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("storage: open dir for sync: %w", err)
+	}
+	if err := d.Sync(); err != nil {
+		_ = d.Close() // already failing; the sync error is primary
+		return fmt.Errorf("storage: sync dir: %w", err)
+	}
+	return d.Close()
 }
 
 // Create implements Store.
@@ -243,7 +328,7 @@ func (f *File) Create(name string) (io.WriteCloser, error) {
 	if err != nil {
 		return nil, fmt.Errorf("storage: create temp: %w", err)
 	}
-	return &fileWriter{f: file, tmp: tmp, final: final}, nil
+	return &fileWriter{f: file, dir: f.dir, tmp: tmp, final: final}, nil
 }
 
 // Open implements Store.
@@ -350,6 +435,22 @@ func (w *throttledWriter) Write(p []byte) (int, error) {
 	return n, err
 }
 
+// Close settles any unpaid sub-millisecond debt before committing: a
+// workload of short objects (manifests, diffs) otherwise writes faster
+// than the configured bandwidth because each object's tail debt is
+// silently forgiven when its writer goes away.
+func (w *throttledWriter) Close() error {
+	w.t.flushDebt()
+	return w.WriteCloser.Close()
+}
+
+// Abort settles the debt too — the bytes crossed the emulated device even
+// though the object is being discarded — then aborts the staged write.
+func (w *throttledWriter) Abort() error {
+	w.t.flushDebt()
+	return AbortWriter(w.WriteCloser)
+}
+
 // charge sleeps long enough to keep write throughput at the configured
 // bandwidth, batching sub-millisecond debts to avoid timer churn.
 func (t *Throttled) charge(n int) {
@@ -361,6 +462,18 @@ func (t *Throttled) charge(n int) {
 		pay = t.debt
 		t.debt = 0
 	}
+	t.mu.Unlock()
+	if pay > 0 {
+		t.slept.Add(int64(pay))
+		t.sleep(pay)
+	}
+}
+
+// flushDebt pays whatever debt has accrued, however small.
+func (t *Throttled) flushDebt() {
+	t.mu.Lock()
+	pay := t.debt
+	t.debt = 0
 	t.mu.Unlock()
 	if pay > 0 {
 		t.slept.Add(int64(pay))
@@ -426,6 +539,12 @@ func (w *statsWriter) Close() error {
 		w.s.writtenBytes.Add(w.n)
 	}
 	return err
+}
+
+// Abort forwards the abort; a discarded object is not a completed write.
+func (w *statsWriter) Abort() error {
+	w.closed = true
+	return AbortWriter(w.WriteCloser)
 }
 
 // Create implements Store.
